@@ -1,0 +1,58 @@
+"""Ablation A2 — NUMA page placement (paper §3.3.1).
+
+Round-robin and block placement assign home nodes at page creation;
+first-touch assigns them at first reference. For a partitioned stencil
+(each worker owns a band of the grid), first-touch should localise the
+band pages and cut remote reads.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import Engine, complex_backend
+from repro.apps.splash import spawn_kernel
+from repro.harness import render_table
+
+
+def run_placement(placement):
+    cfg = complex_backend(num_cpus=4, num_nodes=4)
+    cfg = replace(cfg, backend=replace(
+        cfg.backend,
+        memory=replace(cfg.backend.memory, placement=placement))).validate()
+    eng = Engine(cfg)
+    procs = spawn_kernel(eng, "ocean", 4, n=64, iters=2)
+    stats = eng.run()
+    assert all(p.exit_status == 0 for p in procs)
+    pc = eng.memsys.protocol.counters
+    local = pc.get("local_read", 0)
+    remote = (pc.get("remote_read_2hop", 0) + pc.get("remote_dirty", 0)
+              + pc.get("remote_dirty_3hop", 0))
+    return {
+        "placement": placement,
+        "cycles": stats.end_cycle,
+        "local": local,
+        "remote": remote,
+        "frac_local": local / max(1, local + remote),
+    }
+
+
+def test_ablation_page_placement(benchmark):
+    def experiment():
+        return [run_placement(p)
+                for p in ("round_robin", "block", "first_touch")]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print(render_table(
+        ("placement", "cycles", "local reads", "remote reads", "local frac"),
+        [(r["placement"], r["cycles"], r["local"], r["remote"],
+          f"{r['frac_local']:.2f}") for r in rows],
+        title="\nA2 — page placement on 4-node CC-NUMA (ocean 64x64):"))
+
+    rr, blk, ft = rows
+    benchmark.extra_info.update(
+        first_touch_local=ft["frac_local"], round_robin_local=rr["frac_local"])
+    assert ft["frac_local"] > rr["frac_local"], \
+        "first-touch must localise the partitioned grid better than RR"
+    assert ft["cycles"] <= rr["cycles"], \
+        "better locality should not slow the kernel down"

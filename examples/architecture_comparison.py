@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Target-architecture comparison (the paper's §5 use case).
+
+"COMPASS is currently being used at IBM to study the interaction of three
+commercial applications ... with a variety of shared memory architectures
+such as CCNUMA, COMA and software DSM multiprocessors."
+
+Runs the same two kernels — a cross-partition ocean stencil (fine-grained
+sharing) and a private scan (no sharing) — on all four backends and prints
+the comparison an architecture study would start from.
+
+Run:  python examples/architecture_comparison.py
+"""
+
+from repro import Engine, complex_backend
+from repro.apps.splash import spawn_kernel
+from repro.harness import render_table
+
+
+def private_scan(index):
+    base = 0x0100_0000 + index * 0x0100_0000
+
+    def app(proc):
+        for rep in range(2):
+            yield from proc.touch(base, 48 * 1024, write=(rep == 1),
+                                  stride=64, work_per_line=6)
+            yield from proc.barrier(77, 4)
+        yield from proc.exit(0)
+    return app
+
+
+def run(coherence, workload):
+    eng = Engine(complex_backend(num_cpus=4, coherence=coherence))
+    if workload == "stencil":
+        spawn_kernel(eng, "ocean", 4, n=48, iters=2)
+    else:
+        for i in range(4):
+            eng.spawn(f"scan{i}", private_scan(i))
+    stats = eng.run()
+    return stats.end_cycle
+
+
+def main() -> None:
+    protocols = ("mesi", "directory", "coma", "dsm")
+    rows = []
+    for p in protocols:
+        sten = run(p, "stencil")
+        priv = run(p, "private")
+        rows.append((p, sten, priv))
+    base = rows[1]
+    print(render_table(
+        ("architecture", "stencil cycles", "vs CC-NUMA",
+         "private cycles", "vs CC-NUMA"),
+        [(p, s, f"{s / base[1]:.2f}x", v, f"{v / base[2]:.2f}x")
+         for p, s, v in rows],
+        title="4 CPUs, ocean 48x48 (sharing) vs private scans (no sharing):"))
+    print("\nreading: software DSM collapses under fine-grained sharing "
+          "(page ping-pong) but matches hardware coherence on private "
+          "data; COMA trades an attraction-memory lookup for migration "
+          "locality; the bus SMP wins small configurations.")
+
+
+if __name__ == "__main__":
+    main()

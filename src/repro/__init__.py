@@ -1,0 +1,69 @@
+"""COMPASS — COMmercial PArallel Shared memory Simulator (reproduction).
+
+An execution-driven simulator for commercial applications (OLTP, decision
+support, web serving) on shared-memory multiprocessors, reproducing Nanda et
+al., IPPS 1998. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import Engine, simple_backend
+
+    eng = Engine(simple_backend(num_cpus=2))
+
+    def app(proc):
+        proc.compute(100)
+        yield from proc.store(0x10_000)
+        yield from proc.load(0x10_000)
+        res = yield from proc.call("getpid")
+        yield from proc.exit(0)
+
+    eng.spawn("p0", app)
+    eng.spawn("p1", app)
+    stats = eng.run()
+    print(stats.snapshot())
+"""
+
+from .core.clock import ClockDomain, DEFAULT_CLOCK
+from .core.config import (BackendConfig, CacheConfig, DiskConfig,
+                          EthernetConfig, MemoryConfig, OSConfig, SimConfig,
+                          complex_backend, simple_backend, with_os)
+from .core.engine import Engine
+from .core.errors import (CompassError, ConfigError, DeadlockError,
+                          FrontendError, MemoryError_, SchedulerError)
+from .core.events import EvKind, Event, SyscallResult
+from .core.frontend import Proc, ProcState, SimProcess, WaitToken
+from .core.stats import StatsRegistry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "Proc",
+    "ProcState",
+    "SimProcess",
+    "WaitToken",
+    "Event",
+    "EvKind",
+    "SyscallResult",
+    "StatsRegistry",
+    "ClockDomain",
+    "DEFAULT_CLOCK",
+    "SimConfig",
+    "BackendConfig",
+    "CacheConfig",
+    "MemoryConfig",
+    "OSConfig",
+    "DiskConfig",
+    "EthernetConfig",
+    "simple_backend",
+    "complex_backend",
+    "with_os",
+    "CompassError",
+    "ConfigError",
+    "DeadlockError",
+    "FrontendError",
+    "MemoryError_",
+    "SchedulerError",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Workloads ported to COMPASS (paper §4):
+
+* :mod:`repro.apps.minidb` — a process-model mini database server (the DB2
+  stand-in) with TPC-C-like OLTP and TPC-D-like decision-support workloads;
+* :mod:`repro.apps.webserver` — a pre-fork web server (the Apache stand-in)
+  driven by a SPECWeb96-style file set, workload generator and trace player;
+* :mod:`repro.apps.splash` — SPLASH-2-style scientific kernels (LU, ocean
+  stencil, radix sort) for the scientific/commercial contrast the paper's
+  introduction draws.
+"""

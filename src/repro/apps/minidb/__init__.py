@@ -1,0 +1,38 @@
+"""minidb — a process-model mini database server (the DB2 stand-in, §4.1).
+
+Architecture follows the DB2-for-common-servers shape the paper ports:
+multiple *agent* processes, one per client connection, sharing a buffer pool
+in a shared-memory segment (shmget/shmat), a lock table, and a write-ahead
+log; data lives in table files accessed through kreadv/kwritev (OLTP) or
+mmap (decision support). Workloads:
+
+* :mod:`oltp` — TPC-C-like transaction mix (NewOrder/Payment);
+* :mod:`dss` — TPC-D-like decision-support queries (scan-aggregate and
+  join), sequential I/O and mmap-heavy.
+"""
+
+from .layout import Record, Schema, Page
+from .catalog import tpcc_catalog, tpcd_catalog, load_table
+from .bufferpool import BufferPool
+from .wal import WriteAheadLog
+from .db import MiniDb
+from .oltp import TpccDriver
+from .dss import (TpcdDriver, q1_scan_raw, q1_scan_raw_fast,
+                  q3_join_raw)
+
+__all__ = [
+    "Record",
+    "Schema",
+    "Page",
+    "tpcc_catalog",
+    "tpcd_catalog",
+    "load_table",
+    "BufferPool",
+    "WriteAheadLog",
+    "MiniDb",
+    "TpccDriver",
+    "TpcdDriver",
+    "q1_scan_raw",
+    "q1_scan_raw_fast",
+    "q3_join_raw",
+]

@@ -1,0 +1,148 @@
+"""Shared-memory buffer pool.
+
+The pool's frames live in a shared-memory segment (shmget/shmat, §3.3.1):
+every agent process attaches the same segment, so page reads populate frames
+that all agents' caches then contend over — the defining memory behaviour of
+a process-model database. Functional page images are kept host-side (the
+frontends' native memory in COMPASS terms); the simulated addresses carry
+the timing.
+
+Concurrency: one pool lock protects the mapping; per-frame latches serialise
+page access. Misses read through kreadv into the frame's shared address
+(the syscall's copyout traffic lands in the pool — for free, because
+addresses are real); dirty victims are written back with kwritev.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...core.frontend import Proc
+from .layout import PAGE_SIZE, Page, Schema
+
+#: lock-id bases (application lock namespace, below the kernel's)
+POOL_LOCK = 500_000
+FRAME_LATCH = 510_000
+ROW_LOCK = 600_000
+LOG_LOCK = 520_000
+
+
+class BufferPool:
+    """One pool shared by all agents of a database instance."""
+
+    def __init__(self, shm_base: int, nframes: int) -> None:
+        if nframes <= 0:
+            raise ValueError("nframes must be positive")
+        self.base = shm_base
+        self.nframes = nframes
+        #: (table, pageno) -> frame index
+        self.map: Dict[Tuple[str, int], int] = {}
+        #: frame -> key (reverse map); None = free
+        self.frame_key: List[Optional[Tuple[str, int]]] = [None] * nframes
+        #: functional page images per frame
+        self.frame_page: List[Optional[Page]] = [None] * nframes
+        self.dirty: List[bool] = [False] * nframes
+        self._lru: List[int] = []            # frame indices, MRU first
+        self._free = list(range(nframes - 1, -1, -1))
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def shm_bytes(self) -> int:
+        return self.nframes * PAGE_SIZE
+
+    def frame_addr(self, frame: int) -> int:
+        """Simulated address of a frame in the shared segment."""
+        return self.base + frame * PAGE_SIZE
+
+    # -- internal (functional) ------------------------------------------------
+
+    def _touch_lru(self, frame: int) -> None:
+        if self._lru and self._lru[0] == frame:
+            return
+        try:
+            self._lru.remove(frame)
+        except ValueError:
+            pass
+        self._lru.insert(0, frame)
+
+    def _pick_victim(self) -> int:
+        if self._free:
+            return self._free.pop()
+        return self._lru.pop()
+
+    # -- simulated operations (generators; run inside agent processes) --------
+
+    def get_page(self, proc: Proc, db, table: str, pageno: int,
+                 schema: Schema, for_write: bool = False):
+        """Pin (table, pageno); returns ``(frame, Page)``.
+
+        ``db`` supplies per-process file descriptors and the I/O calls.
+        The caller must hold no pool lock; the frame latch discipline is:
+        pool lock → (miss I/O) → release.
+        """
+        key = (table, pageno)
+        yield from proc.lock(POOL_LOCK)
+        frame = self.map.get(key)
+        if frame is not None:
+            self.hits += 1
+            self._touch_lru(frame)
+            # pool metadata + frame header touch
+            yield from proc.load(self.frame_addr(frame))
+            if for_write:
+                self.dirty[frame] = True
+                yield from proc.store(self.frame_addr(frame))
+            yield from proc.unlock(POOL_LOCK)
+            return frame, self.frame_page[frame]
+
+        self.misses += 1
+        frame = self._pick_victim()
+        old = self.frame_key[frame]
+        if old is not None:
+            del self.map[old]
+            if self.dirty[frame]:
+                self.writebacks += 1
+                yield from db.write_page_out(proc, old[0], old[1],
+                                             self.frame_addr(frame),
+                                             self.frame_page[frame])
+                self.dirty[frame] = False
+        # read the page through the kernel into the shared frame
+        page = yield from db.read_page_in(proc, table, pageno, schema,
+                                          self.frame_addr(frame))
+        self.map[key] = frame
+        self.frame_key[frame] = key
+        self.frame_page[frame] = page
+        self.dirty[frame] = bool(for_write)
+        self._touch_lru(frame)
+        yield from proc.unlock(POOL_LOCK)
+        return frame, page
+
+    def scan_page(self, proc: Proc, frame: int, rows: int,
+                  work_per_row: int = 20):
+        """Reference a pinned frame's rows (predicate evaluation): one read
+        per cache line plus per-row compute."""
+        nbytes = min(PAGE_SIZE, max(rows, 1) * 64)
+        lat = yield from proc.touch(self.frame_addr(frame), nbytes,
+                                    write=False, stride=64,
+                                    work_per_line=work_per_row)
+        return lat
+
+    def flush_all(self, proc: Proc, db):
+        """Checkpoint: write back every dirty frame."""
+        yield from proc.lock(POOL_LOCK)
+        flushed = 0
+        for frame in range(self.nframes):
+            if self.dirty[frame] and self.frame_key[frame] is not None:
+                t, pg = self.frame_key[frame]
+                yield from db.write_page_out(proc, t, pg,
+                                             self.frame_addr(frame),
+                                             self.frame_page[frame])
+                self.dirty[frame] = False
+                flushed += 1
+        yield from proc.unlock(POOL_LOCK)
+        return flushed
+
+    def hit_rate(self) -> float:
+        t = self.hits + self.misses
+        return self.hits / t if t else 0.0

@@ -1,0 +1,187 @@
+"""Table catalogs and data generation for the TPC-C-like and TPC-D-like
+workloads (scaled down from the paper's 400 MB / 100 MB databases so a pure-
+Python simulation finishes; the access *patterns* — random point access with
+updates vs sequential scan — are preserved)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ...osim.filesystem import FileSystem
+from .layout import PAGE_SIZE, Record, Schema, table_pages
+
+
+# ---------------------------------------------------------------------------
+# TPC-C-like schema (OLTP)
+# ---------------------------------------------------------------------------
+
+WAREHOUSE = Schema("warehouse", (
+    ("w_id", 0), ("w_ytd", 0), ("w_tax", 0), ("w_name", 16), ("w_pad", 32)))
+DISTRICT = Schema("district", (
+    ("d_id", 0), ("d_w_id", 0), ("d_ytd", 0), ("d_tax", 0),
+    ("d_next_o_id", 0), ("d_name", 16), ("d_pad", 24)))
+CUSTOMER = Schema("customer", (
+    ("c_id", 0), ("c_d_id", 0), ("c_w_id", 0), ("c_balance", 0),
+    ("c_ytd_payment", 0), ("c_payment_cnt", 0), ("c_name", 24),
+    ("c_pad", 48)))
+ITEM = Schema("item", (
+    ("i_id", 0), ("i_price", 0), ("i_name", 24), ("i_pad", 16)))
+STOCK = Schema("stock", (
+    ("s_i_id", 0), ("s_w_id", 0), ("s_quantity", 0), ("s_ytd", 0),
+    ("s_order_cnt", 0), ("s_pad", 24)))
+ORDERS = Schema("orders", (
+    ("o_id", 0), ("o_d_id", 0), ("o_w_id", 0), ("o_c_id", 0),
+    ("o_ol_cnt", 0), ("o_entry_d", 0)))
+ORDER_LINE = Schema("order_line", (
+    ("ol_o_id", 0), ("ol_d_id", 0), ("ol_w_id", 0), ("ol_number", 0),
+    ("ol_i_id", 0), ("ol_quantity", 0), ("ol_amount", 0)))
+
+# ---------------------------------------------------------------------------
+# TPC-D-like schema (decision support)
+# ---------------------------------------------------------------------------
+
+LINEITEM = Schema("lineitem", (
+    ("l_orderkey", 0), ("l_partkey", 0), ("l_quantity", 0),
+    ("l_extendedprice", 0), ("l_discount", 0), ("l_tax", 0),
+    ("l_returnflag", 1), ("l_linestatus", 1), ("l_shipdate", 0),
+    ("l_pad", 14)))
+CUSTOMER_D = Schema("customer_d", (
+    ("c_custkey", 0), ("c_mktsegment", 0), ("c_name", 24), ("c_pad", 8)))
+ORDERS_D = Schema("orders_d", (
+    ("o_orderkey", 0), ("o_custkey", 0), ("o_orderdate", 0),
+    ("o_totalprice", 0), ("o_shippriority", 0)))
+
+
+@dataclass
+class TableInfo:
+    """One table in a catalog: schema, cardinality, file path."""
+
+    schema: Schema
+    nrecords: int
+    path: str
+
+    @property
+    def npages(self) -> int:
+        return table_pages(self.schema, self.nrecords)
+
+    @property
+    def nbytes(self) -> int:
+        return self.npages * PAGE_SIZE
+
+
+@dataclass
+class Catalog:
+    """A workload's set of tables."""
+
+    name: str
+    tables: Dict[str, TableInfo] = field(default_factory=dict)
+
+    def add(self, schema: Schema, nrecords: int, root: str) -> TableInfo:
+        t = TableInfo(schema, nrecords, f"{root}/{schema.name}.tbl")
+        self.tables[schema.name] = t
+        return t
+
+    def total_bytes(self) -> int:
+        return sum(t.nbytes for t in self.tables.values())
+
+
+def tpcc_catalog(warehouses: int = 1, scale: float = 0.02,
+                 root: str = "/db/tpcc") -> Catalog:
+    """TPC-C-like catalog. ``scale`` shrinks the per-warehouse cardinalities
+    (1.0 would be the full 30k customers / 100k stock rows per warehouse)."""
+    c = Catalog("tpcc")
+    w = warehouses
+    cust = max(30, int(30_000 * scale))
+    stock = max(100, int(100_000 * scale))
+    items = max(100, int(100_000 * scale))
+    c.add(WAREHOUSE, w, root)
+    c.add(DISTRICT, 10 * w, root)
+    c.add(CUSTOMER, cust * w, root)
+    c.add(ITEM, items, root)
+    c.add(STOCK, stock * w, root)
+    # orders / order_line grow at run time: reserve space
+    c.add(ORDERS, max(64, cust * w), root)
+    c.add(ORDER_LINE, max(640, 10 * cust * w), root)
+    return c
+
+
+def tpcd_catalog(scale: float = 0.001, root: str = "/db/tpcd") -> Catalog:
+    """TPC-D-like catalog. ``scale`` is the fraction of SF=1 cardinalities
+    (SF=1 lineitem is 6 M rows; the paper's Table 2 run used a 12 MB DB)."""
+    c = Catalog("tpcd")
+    li = max(200, int(6_000_000 * scale))
+    orders = max(50, int(1_500_000 * scale))
+    cust = max(15, int(150_000 * scale))
+    c.add(LINEITEM, li, root)
+    c.add(ORDERS_D, orders, root)
+    c.add(CUSTOMER_D, cust, root)
+    return c
+
+
+# ---------------------------------------------------------------------------
+# loaders (host-side: populate the simulated file system before simulating)
+# ---------------------------------------------------------------------------
+
+def _gen_record(schema: Schema, rid: int, rng: random.Random) -> Dict:
+    """Deterministic contents per (schema, rid)."""
+    v: Dict = {}
+    for name, width in schema.fields:
+        if width == 0:
+            if name.endswith("_id") or name.endswith("key"):
+                v[name] = rid
+            elif name == "l_quantity":
+                v[name] = 1 + rng.randrange(50)
+            elif name == "l_extendedprice":
+                v[name] = 100 + rng.randrange(100_000)
+            elif name == "l_discount":
+                v[name] = rng.randrange(11)
+            elif name == "l_shipdate":
+                v[name] = rng.randrange(2_500)
+            elif name == "o_orderdate":
+                v[name] = rng.randrange(2_500)
+            elif name == "c_mktsegment":
+                v[name] = rng.randrange(5)
+            elif name == "o_custkey":
+                v[name] = rng.randrange(10**6)
+            elif name == "s_quantity":
+                v[name] = 10 + rng.randrange(91)
+            elif name == "i_price":
+                v[name] = 1 + rng.randrange(10_000)
+            elif name == "d_next_o_id":
+                v[name] = 1
+            else:
+                v[name] = rng.randrange(1_000)
+        elif width == 1:
+            v[name] = bytes([65 + rng.randrange(3)])   # A/B/C flags
+        else:
+            v[name] = (name.encode() * 8)[:width]
+    return v
+
+
+def load_table(fs: FileSystem, info: TableInfo, seed: int = 7,
+               custkey_range: int = 0) -> None:
+    """Generate and write one table's pages into the simulated FS."""
+    rng = random.Random((seed, info.schema.name).__hash__() & 0x7FFFFFFF)
+    rpp = info.schema.records_per_page
+    rs = info.schema.record_size
+    out = bytearray(info.npages * PAGE_SIZE)
+    for rid in range(info.nrecords):
+        vals = _gen_record(info.schema, rid, rng)
+        if custkey_range and "o_custkey" in vals:
+            vals["o_custkey"] = rng.randrange(custkey_range)
+        page, slot = rid // rpp, rid % rpp
+        off = page * PAGE_SIZE + slot * rs
+        out[off:off + rs] = Record.encode(info.schema, vals)
+    if fs.exists(info.path):
+        fs.unlink(info.path)
+    fs.create(info.path, bytes(out), reserve=len(out) * 2)
+
+
+def load_catalog(fs: FileSystem, catalog: Catalog, seed: int = 7) -> None:
+    """Load every table of a catalog."""
+    cust = catalog.tables.get("customer_d")
+    ckr = cust.nrecords if cust else 0
+    for info in catalog.tables.values():
+        load_table(fs, info, seed=seed, custkey_range=ckr)

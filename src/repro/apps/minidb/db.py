@@ -1,0 +1,158 @@
+"""MiniDb: database instance orchestration.
+
+Owns the catalog, the shared buffer pool segment, the WAL and the per-agent
+state (each agent process opens its own descriptors for every table file —
+the process model the paper's §1 insists real databases use). All I/O flows
+through the category-1 syscalls, so the OS time the paper's Table 1 profile
+shows for TPC-C/TPC-D emerges from the same calls (kreadv/kwritev + mmap
+family).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ...core.engine import Engine
+from ...core.frontend import Proc
+from .bufferpool import BufferPool, ROW_LOCK
+from .catalog import Catalog, load_catalog
+from .layout import PAGE_SIZE, Page, Record, Schema, rid_to_page
+from .wal import WriteAheadLog
+
+#: fixed attach address for the buffer-pool segment (inside the mmap region,
+#: above the per-process allocator's reach for these workloads)
+SHM_POOL_BASE = 0xB800_0000
+#: shmget key of the pool segment
+POOL_KEY = 0xDB
+
+
+class MiniDb:
+    """One database instance: catalog + pool + WAL + agent state."""
+
+    def __init__(self, engine: Engine, catalog: Catalog,
+                 pool_frames: int = 128, seed: int = 7) -> None:
+        self.engine = engine
+        self.catalog = catalog
+        self.pool = BufferPool(SHM_POOL_BASE, pool_frames)
+        self.wal = WriteAheadLog()
+        self.seed = seed
+        #: pid -> {table -> fd}
+        self._fds: Dict[int, Dict[str, int]] = {}
+        self._shmid = -1
+        #: shared next-record-id per grow-able table
+        self.next_rid: Dict[str, int] = {}
+        self.loaded = False
+
+    # -- host-side setup -------------------------------------------------------
+
+    def setup(self) -> None:
+        """Load tables into the simulated FS and create the pool segment
+        (run before simulation, like restoring a database from a backup)."""
+        fs = self.engine.os_server.fs
+        load_catalog(fs, self.catalog, seed=self.seed)
+        if not fs.exists(self.wal.path):
+            fs.create(self.wal.path, b"", reserve=1 << 20)
+        self._shmid = self.engine.memsys.vmm.shmget(POOL_KEY,
+                                                    self.pool.shm_bytes)
+        for name, info in self.catalog.tables.items():
+            self.next_rid[name] = info.nrecords
+        self.loaded = True
+
+    # -- agent-side initialisation (simulated) ---------------------------------
+
+    def agent_init(self, proc: Proc):
+        """Run at the top of every agent process: attach the pool segment,
+        open every table file and the log."""
+        assert self.loaded, "call setup() first"
+        pid = proc.process.pid
+        r = yield from proc.call("shmat", self._shmid, SHM_POOL_BASE)
+        if not r.ok:
+            raise RuntimeError(f"shmat failed: errno {r.errno}")
+        fds: Dict[str, int] = {}
+        for name, info in self.catalog.tables.items():
+            r = yield from proc.call("open", info.path, 2)
+            if not r.ok:
+                raise RuntimeError(f"open {info.path}: errno {r.errno}")
+            fds[name] = r.value
+        r = yield from proc.call("open", self.wal.path, 2)
+        fds["__wal"] = r.value
+        self._fds[pid] = fds
+        return fds
+
+    def fd(self, pid: int, table: str) -> int:
+        return self._fds[pid][table]
+
+    # -- page I/O callbacks used by the buffer pool -----------------------------
+
+    def read_page_in(self, proc: Proc, table: str, pageno: int,
+                     schema: Schema, frame_addr: int):
+        """Miss path: kreadv the page into the shared frame."""
+        fd = self.fd(proc.process.pid, table)
+        yield from proc.call("lseek", fd, pageno * PAGE_SIZE, 0)
+        r = yield from proc.call("kreadv", fd, frame_addr, PAGE_SIZE)
+        return Page(schema, r.data or b"")
+
+    def write_page_out(self, proc: Proc, table: str, pageno: int,
+                       frame_addr: int, page: Optional[Page]):
+        """Writeback path: kwritev the frame to the table file."""
+        fd = self.fd(proc.process.pid, table)
+        yield from proc.call("lseek", fd, pageno * PAGE_SIZE, 0)
+        data = bytes(page.data) if page is not None else b"\0" * PAGE_SIZE
+        yield from proc.call("kwritev", fd, frame_addr, PAGE_SIZE, data)
+
+    # -- record-level operations -------------------------------------------
+
+    def schema(self, table: str) -> Schema:
+        return self.catalog.tables[table].schema
+
+    def row_lock_id(self, table: str, rid: int) -> int:
+        return ROW_LOCK + (hash((table, rid)) & 0xFFFF)
+
+    def get_record(self, proc: Proc, table: str, rid: int,
+                   for_write: bool = False):
+        """Fetch record ``rid``; returns (values, page, slot)."""
+        schema = self.schema(table)
+        pageno, slot = rid_to_page(schema, rid)
+        frame, page = yield from self.pool.get_page(
+            proc, self, table, pageno, schema, for_write=for_write)
+        # reference the record's bytes in the shared frame
+        addr = self.pool.frame_addr(frame) + slot * schema.record_size
+        if for_write:
+            yield from proc.store(addr, min(schema.record_size, 64))
+        else:
+            yield from proc.load(addr, min(schema.record_size, 64))
+        proc.compute(40)   # decode + predicate
+        return page.record(slot), page, slot
+
+    def put_record(self, proc: Proc, table: str, rid: int, values: Dict):
+        """Update record ``rid`` in place (page marked dirty)."""
+        schema = self.schema(table)
+        pageno, slot = rid_to_page(schema, rid)
+        frame, page = yield from self.pool.get_page(
+            proc, self, table, pageno, schema, for_write=True)
+        addr = self.pool.frame_addr(frame) + slot * schema.record_size
+        yield from proc.store(addr, min(schema.record_size, 64))
+        proc.compute(60)
+        page.put_record(slot, values)
+
+    def insert_record(self, proc: Proc, table: str, values: Dict):
+        """Append a record; returns its rid. The shared next-rid counter is
+        guarded by a (hashed) row lock on the table heap end."""
+        lid = self.row_lock_id(table, -1)
+        yield from proc.lock(lid)
+        rid = self.next_rid[table]
+        self.next_rid[table] = rid + 1
+        yield from proc.unlock(lid)
+        yield from self.put_record(proc, table, rid, values)
+        return rid
+
+    # -- teardown helpers -----------------------------------------------------
+
+    def agent_close(self, proc: Proc):
+        """Close descriptors and detach the pool."""
+        pid = proc.process.pid
+        fds = self._fds.pop(pid, {})
+        for fd in fds.values():
+            yield from proc.call("close", fd)
+        yield from proc.call("shmdt", SHM_POOL_BASE)

@@ -1,0 +1,260 @@
+"""TPC-D-like decision-support workload (the paper's TPCD/DB2).
+
+Two queries:
+
+* **Q1-like** — scan-aggregate over lineitem grouped by return flag
+  (quantity/price sums, row counts), partitioned across agents with a
+  barrier before the merge. Two I/O strategies, matching the paper's TPCD
+  profile: ``io="read"`` streams pages through kreadv + the buffer pool;
+  ``io="mmap"`` maps the table and lets major faults pull pages in, then
+  msync/munmap — the mmap/munmap/msync signature of Table 1.
+* **Q3-lite** — a two-table hash join: build on filtered customers, probe
+  orders, aggregate total price per market segment.
+
+The raw (native) versions compute the same answers directly from the file
+bytes; simulated and raw results must match exactly — that equivalence is
+what "execution-driven" means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...core.engine import Engine
+from ...core.frontend import Proc, SimProcess
+from ...osim.filesystem import FileSystem
+from .catalog import Catalog, LINEITEM, ORDERS_D, CUSTOMER_D
+from .db import MiniDb
+from .layout import PAGE_SIZE, Page, Record
+
+#: barrier ids
+_SCAN_BARRIER = 41
+#: scratch buffer for aggregates in each agent's space
+_AGG_BUF = 0x0700_0000
+
+
+def _agg_update(agg: Dict, rec: Dict) -> None:
+    flag = rec["l_returnflag"]
+    a = agg.setdefault(flag, [0, 0, 0])
+    a[0] += rec["l_quantity"]
+    a[1] += rec["l_extendedprice"]
+    a[2] += 1
+
+
+class TpcdDriver:
+    """Parallel decision-support query execution."""
+
+    def __init__(self, db: MiniDb, nagents: int = 4, io: str = "read",
+                 rows_work: int = 1400) -> None:
+        """``rows_work``: user-mode cycles per 64-byte row for predicate
+        evaluation + aggregation — DB2's user-dominant TPC-D profile."""
+        if io not in ("read", "mmap"):
+            raise ValueError(f"io must be 'read' or 'mmap', got {io!r}")
+        self.db = db
+        self.nagents = nagents
+        self.io = io
+        self.rows_work = rows_work
+        #: per-agent partial aggregates, merged by agent 0
+        self.partials: List[Optional[Dict]] = [None] * nagents
+        self.result: Optional[Dict] = None
+        self.join_result: Optional[Dict] = None
+        self.agents: List[SimProcess] = []
+
+    # -- Q1-like scan-aggregate ------------------------------------------------
+
+    def q1_agent(self, proc: Proc, index: int):
+        """One scan partition: pages [lo, hi) of lineitem."""
+        db = self.db
+        info = db.catalog.tables["lineitem"]
+        npages = info.npages
+        lo = index * npages // self.nagents
+        hi = (index + 1) * npages // self.nagents
+        yield from db.agent_init(proc)
+        agg: Dict = {}
+        rpp = LINEITEM.records_per_page
+        if self.io == "read":
+            for pg in range(lo, hi):
+                frame, page = yield from db.pool.get_page(
+                    proc, db, "lineitem", pg, LINEITEM)
+                yield from db.pool.scan_page(
+                    proc, frame, rpp, self.rows_work)
+                for i in range(rpp):
+                    if pg * rpp + i < info.nrecords:
+                        _agg_update(agg, page.record(i))
+        else:
+            fd = db.fd(proc.process.pid, "lineitem")
+            r = yield from proc.call("mmap", fd, (hi - lo) * PAGE_SIZE, 1,
+                                     lo * PAGE_SIZE)
+            base = r.value
+            assert r.ok, f"mmap failed errno {r.errno}"
+            fs = self.db.engine.os_server.fs
+            node = fs.lookup(info.path)
+            for pg in range(lo, hi):
+                addr = base + (pg - lo) * PAGE_SIZE
+                yield from proc.touch(addr, PAGE_SIZE, stride=64,
+                                      work_per_line=self.rows_work)
+                page = Page(LINEITEM,
+                            bytes(node.data[pg * PAGE_SIZE:(pg + 1) * PAGE_SIZE]))
+                for i in range(rpp):
+                    if pg * rpp + i < info.nrecords:
+                        _agg_update(agg, page.record(i))
+            yield from proc.call("msync", base, (hi - lo) * PAGE_SIZE, 1)
+            yield from proc.call("munmap", base)
+        self.partials[index] = agg
+        yield from proc.store(_AGG_BUF + 64 * index, 64)
+        yield from proc.barrier(_SCAN_BARRIER, self.nagents)
+        if index == 0:
+            merged: Dict = {}
+            for part in self.partials:
+                for flag, (q, p, n) in (part or {}).items():
+                    m = merged.setdefault(flag, [0, 0, 0])
+                    m[0] += q
+                    m[1] += p
+                    m[2] += n
+                proc.compute(500)
+                yield from proc.load(_AGG_BUF)
+            self.result = merged
+        yield from db.agent_close(proc)
+        yield from proc.exit(0)
+
+    # -- Q3-lite hash join ----------------------------------------------------
+
+    def q3_agent(self, proc: Proc, index: int, segment: int = 1):
+        """Partitioned hash join: every agent builds the (small) customer
+        hash table, then probes its partition of orders."""
+        db = self.db
+        cust = db.catalog.tables["customer_d"]
+        orders = db.catalog.tables["orders_d"]
+        yield from db.agent_init(proc)
+        # build
+        keys = set()
+        for pg in range(cust.npages):
+            frame, page = yield from db.pool.get_page(
+                proc, db, "customer_d", pg, CUSTOMER_D)
+            yield from db.pool.scan_page(proc, frame,
+                                         CUSTOMER_D.records_per_page, 12)
+            for i, rec in enumerate(page.records()):
+                rid = pg * CUSTOMER_D.records_per_page + i
+                if rid < cust.nrecords and rec["c_mktsegment"] == segment:
+                    keys.add(rec["c_custkey"])
+        # probe own partition
+        lo = index * orders.npages // self.nagents
+        hi = (index + 1) * orders.npages // self.nagents
+        total = 0
+        matched = 0
+        for pg in range(lo, hi):
+            frame, page = yield from db.pool.get_page(
+                proc, db, "orders_d", pg, ORDERS_D)
+            yield from db.pool.scan_page(proc, frame,
+                                         ORDERS_D.records_per_page, 16)
+            for i, rec in enumerate(page.records()):
+                rid = pg * ORDERS_D.records_per_page + i
+                if rid < orders.nrecords and rec["o_custkey"] in keys:
+                    total += rec["o_totalprice"]
+                    matched += 1
+        self.partials[index] = {"total": total, "matched": matched}
+        yield from proc.barrier(_SCAN_BARRIER + 1, self.nagents)
+        if index == 0:
+            t = sum((p or {}).get("total", 0) for p in self.partials)
+            m = sum((p or {}).get("matched", 0) for p in self.partials)
+            self.join_result = {"total": t, "matched": m}
+        yield from db.agent_close(proc)
+        yield from proc.exit(0)
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn_q1(self, engine: Engine) -> List[SimProcess]:
+        self.partials = [None] * self.nagents
+        self.agents = [
+            engine.spawn(f"dss-q1-{i}", lambda p, i=i: self.q1_agent(p, i))
+            for i in range(self.nagents)
+        ]
+        return self.agents
+
+    def spawn_q3(self, engine: Engine, segment: int = 1) -> List[SimProcess]:
+        self.partials = [None] * self.nagents
+        self.agents = [
+            engine.spawn(f"dss-q3-{i}",
+                         lambda p, i=i: self.q3_agent(p, i, segment))
+            for i in range(self.nagents)
+        ]
+        return self.agents
+
+
+# ---------------------------------------------------------------------------
+# native baselines (Table 2's raw execution)
+# ---------------------------------------------------------------------------
+
+def q1_scan_raw_fast(fs: FileSystem, catalog: Catalog) -> Dict:
+    """Vectorised (numpy) native scan — the closest analog of the paper's
+    uninstrumented native binary for the Table 2 raw baseline. Produces
+    exactly the same aggregate as :func:`q1_scan_raw`."""
+    import numpy as np
+
+    info = catalog.tables["lineitem"]
+    node = fs.lookup(info.path)
+    if node is None:
+        raise FileNotFoundError(info.path)
+    rs = LINEITEM.record_size
+    rpp = LINEITEM.records_per_page
+    buf = np.frombuffer(bytes(node.data), dtype=np.uint8)
+    pages = buf.reshape(info.npages, PAGE_SIZE)[:, :rpp * rs]
+    rows = pages.reshape(info.npages * rpp, rs)[:info.nrecords]
+    dt = np.dtype({
+        "names": ["qty", "price", "flag"],
+        "formats": ["<i8", "<i8", "u1"],
+        "offsets": [16, 24, 48],
+        "itemsize": rs,
+    })
+    recs = rows.reshape(-1).view(dt)
+    agg: Dict = {}
+    for flag in np.unique(recs["flag"]):
+        m = recs["flag"] == flag
+        agg[bytes([flag])] = [int(recs["qty"][m].sum()),
+                              int(recs["price"][m].sum()),
+                              int(m.sum())]
+    return agg
+
+
+def q1_scan_raw(fs: FileSystem, catalog: Catalog) -> Dict:
+    """The same Q1 aggregate computed natively over the file bytes."""
+    info = catalog.tables["lineitem"]
+    node = fs.lookup(info.path)
+    if node is None:
+        raise FileNotFoundError(info.path)
+    agg: Dict = {}
+    rpp = LINEITEM.records_per_page
+    for pg in range(info.npages):
+        page = Page(LINEITEM, bytes(node.data[pg * PAGE_SIZE:(pg + 1) * PAGE_SIZE]))
+        for i in range(rpp):
+            if pg * rpp + i < info.nrecords:
+                _agg_update(agg, page.record(i))
+    return agg
+
+
+def q3_join_raw(fs: FileSystem, catalog: Catalog, segment: int = 1) -> Dict:
+    """The same Q3 join computed natively."""
+    cust = catalog.tables["customer_d"]
+    orders = catalog.tables["orders_d"]
+    cnode = fs.lookup(cust.path)
+    onode = fs.lookup(orders.path)
+    keys = set()
+    for pg in range(cust.npages):
+        page = Page(CUSTOMER_D,
+                    bytes(cnode.data[pg * PAGE_SIZE:(pg + 1) * PAGE_SIZE]))
+        for i in range(CUSTOMER_D.records_per_page):
+            rid = pg * CUSTOMER_D.records_per_page + i
+            rec = page.record(i)
+            if rid < cust.nrecords and rec["c_mktsegment"] == segment:
+                keys.add(rec["c_custkey"])
+    total = matched = 0
+    for pg in range(orders.npages):
+        page = Page(ORDERS_D,
+                    bytes(onode.data[pg * PAGE_SIZE:(pg + 1) * PAGE_SIZE]))
+        for i in range(ORDERS_D.records_per_page):
+            rid = pg * ORDERS_D.records_per_page + i
+            rec = page.record(i)
+            if rid < orders.nrecords and rec["o_custkey"] in keys:
+                total += rec["o_totalprice"]
+                matched += 1
+    return {"total": total, "matched": matched}

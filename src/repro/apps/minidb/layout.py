@@ -1,0 +1,103 @@
+"""On-disk record and page layout.
+
+Fixed-width records packed into 4 KiB pages (a simplified DB2 page: no slot
+indirection — record *i* of a page sits at ``i * record_size``). Fields are
+integers (8-byte little-endian) or fixed-size byte strings, so encoding and
+decoding is cheap and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+PAGE_SIZE = 4096
+
+FieldValue = Union[int, bytes]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A table schema: ordered (name, width) pairs; width 0 means an
+    8-byte integer, otherwise a fixed byte string of that many bytes."""
+
+    name: str
+    fields: Tuple[Tuple[str, int], ...]
+
+    @property
+    def record_size(self) -> int:
+        return sum(8 if w == 0 else w for _n, w in self.fields)
+
+    @property
+    def records_per_page(self) -> int:
+        return PAGE_SIZE // self.record_size
+
+    def field_names(self) -> List[str]:
+        return [n for n, _w in self.fields]
+
+
+class Record:
+    """Encode/decode one record of a schema."""
+
+    @staticmethod
+    def encode(schema: Schema, values: Dict[str, FieldValue]) -> bytes:
+        out = bytearray()
+        for name, width in schema.fields:
+            v = values.get(name, 0 if width == 0 else b"")
+            if width == 0:
+                out += struct.pack("<q", int(v))
+            else:
+                b = bytes(v)[:width]
+                out += b.ljust(width, b"\0")
+        return bytes(out)
+
+    @staticmethod
+    def decode(schema: Schema, data: bytes) -> Dict[str, FieldValue]:
+        vals: Dict[str, FieldValue] = {}
+        off = 0
+        for name, width in schema.fields:
+            if width == 0:
+                vals[name] = struct.unpack_from("<q", data, off)[0]
+                off += 8
+            else:
+                vals[name] = bytes(data[off:off + width])
+                off += width
+        return vals
+
+
+class Page:
+    """A page image: a bytearray of PAGE_SIZE with record accessors."""
+
+    __slots__ = ("schema", "data")
+
+    def __init__(self, schema: Schema, data: bytes = b"") -> None:
+        self.schema = schema
+        self.data = bytearray(data.ljust(PAGE_SIZE, b"\0")[:PAGE_SIZE])
+
+    def record(self, i: int) -> Dict[str, FieldValue]:
+        rs = self.schema.record_size
+        if i < 0 or i >= self.schema.records_per_page:
+            raise IndexError(f"record {i} out of page range")
+        return Record.decode(self.schema, self.data[i * rs:(i + 1) * rs])
+
+    def put_record(self, i: int, values: Dict[str, FieldValue]) -> None:
+        rs = self.schema.record_size
+        if i < 0 or i >= self.schema.records_per_page:
+            raise IndexError(f"record {i} out of page range")
+        self.data[i * rs:(i + 1) * rs] = Record.encode(self.schema, values)
+
+    def records(self) -> List[Dict[str, FieldValue]]:
+        return [self.record(i) for i in range(self.schema.records_per_page)]
+
+
+def rid_to_page(schema: Schema, rid: int) -> Tuple[int, int]:
+    """Map a record id to (page number, slot within page)."""
+    rpp = schema.records_per_page
+    return rid // rpp, rid % rpp
+
+
+def table_pages(schema: Schema, nrecords: int) -> int:
+    """Pages needed for ``nrecords`` records."""
+    rpp = schema.records_per_page
+    return (nrecords + rpp - 1) // rpp

@@ -1,0 +1,191 @@
+"""TPC-C-like OLTP workload (the paper's TPCC/DB2, Table 1 row 3).
+
+NewOrder and Payment transactions against the warehouse schema: random point
+reads and updates through the shared buffer pool, row locks, WAL commit with
+fsync. The access pattern is uniform-random over customers/stock, so the
+pool misses at a steady rate and the disk sees random I/O — the
+interrupt-handler-heavy profile of the paper's 400 MB TPCC run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ...core.engine import Engine
+from ...core.frontend import Proc, SimProcess
+from .db import MiniDb
+
+
+class TpccDriver:
+    """Spawns agent processes running a NewOrder/Payment mix."""
+
+    #: private working area for user-mode SQL processing per agent
+    _WORK_BUF = 0x0800_0000
+
+    def __init__(self, db: MiniDb, nagents: int = 4,
+                 tx_per_agent: int = 20, seed: int = 11,
+                 think_cycles: int = 20_000,
+                 neworder_fraction: float = 0.5,
+                 user_work: int = 520_000) -> None:
+        """``user_work``: user-mode cycles per transaction (SQL parsing,
+        plan execution, predicate evaluation) — what makes real DB2 spend
+        ~80 % of its CPU in user space (paper Table 1)."""
+        if not (0.0 <= neworder_fraction <= 1.0):
+            raise ValueError("neworder_fraction must be in [0,1]")
+        self.db = db
+        self.nagents = nagents
+        self.tx_per_agent = tx_per_agent
+        self.seed = seed
+        self.think_cycles = think_cycles
+        self.neworder_fraction = neworder_fraction
+        self.user_work = user_work
+        self.committed = 0
+        self.neworders = 0
+        self.payments = 0
+        self.agents: List[SimProcess] = []
+
+    # -- transactions -------------------------------------------------------
+
+    def _neworder(self, proc: Proc, rng: random.Random):
+        db = self.db
+        cat = db.catalog.tables
+        w = rng.randrange(cat["warehouse"].nrecords)
+        d = rng.randrange(cat["district"].nrecords)
+        c = rng.randrange(cat["customer"].nrecords)
+        n_items = 5 + rng.randrange(11)
+
+        # district: read + bump next_o_id (hot row — real TPC-C contention)
+        yield from proc.lock(db.row_lock_id("district", d))
+        drec, dpage, dslot = yield from db.get_record(proc, "district", d,
+                                                      for_write=True)
+        drec["d_next_o_id"] = drec["d_next_o_id"] + 1
+        dpage.put_record(dslot, drec)
+        yield from proc.unlock(db.row_lock_id("district", d))
+
+        yield from db.get_record(proc, "customer", c)
+        total = 0
+        for _ in range(n_items):
+            i = rng.randrange(cat["item"].nrecords)
+            s = rng.randrange(cat["stock"].nrecords)
+            irec, _p, _s = yield from db.get_record(proc, "item", i)
+            yield from proc.lock(db.row_lock_id("stock", s))
+            srec, spage, sslot = yield from db.get_record(
+                proc, "stock", s, for_write=True)
+            srec["s_quantity"] = max(10, srec["s_quantity"] - 1 + 91) \
+                if srec["s_quantity"] <= 1 else srec["s_quantity"] - 1
+            srec["s_ytd"] += 1
+            srec["s_order_cnt"] += 1
+            spage.put_record(sslot, srec)
+            yield from proc.unlock(db.row_lock_id("stock", s))
+            total += irec["i_price"]
+            proc.compute(200)   # pricing arithmetic
+
+        oid = yield from db.insert_record(proc, "orders", {
+            "o_id": 0, "o_d_id": d, "o_w_id": w, "o_c_id": c,
+            "o_ol_cnt": n_items, "o_entry_d": 0})
+        for ln in range(n_items):
+            yield from db.insert_record(proc, "order_line", {
+                "ol_o_id": oid, "ol_d_id": d, "ol_w_id": w,
+                "ol_number": ln, "ol_i_id": 0, "ol_quantity": 1,
+                "ol_amount": total // max(1, n_items)})
+        # commit: WAL force
+        fd = self.db.fd(proc.process.pid, "__wal")
+        yield from db.wal.append_and_commit(proc, fd, nrecords=2 + n_items)
+        self.neworders += 1
+
+    def _payment(self, proc: Proc, rng: random.Random):
+        db = self.db
+        cat = db.catalog.tables
+        w = rng.randrange(cat["warehouse"].nrecords)
+        d = rng.randrange(cat["district"].nrecords)
+        c = rng.randrange(cat["customer"].nrecords)
+        amount = 1 + rng.randrange(5000)
+
+        yield from proc.lock(db.row_lock_id("warehouse", w))
+        wrec, wpage, wslot = yield from db.get_record(proc, "warehouse", w,
+                                                      for_write=True)
+        wrec["w_ytd"] += amount
+        wpage.put_record(wslot, wrec)
+        yield from proc.unlock(db.row_lock_id("warehouse", w))
+
+        yield from proc.lock(db.row_lock_id("district", d))
+        drec, dpage, dslot = yield from db.get_record(proc, "district", d,
+                                                      for_write=True)
+        drec["d_ytd"] += amount
+        dpage.put_record(dslot, drec)
+        yield from proc.unlock(db.row_lock_id("district", d))
+
+        yield from proc.lock(db.row_lock_id("customer", c))
+        crec, cpage, cslot = yield from db.get_record(proc, "customer", c,
+                                                      for_write=True)
+        crec["c_balance"] -= amount
+        crec["c_ytd_payment"] += amount
+        crec["c_payment_cnt"] += 1
+        cpage.put_record(cslot, crec)
+        yield from proc.unlock(db.row_lock_id("customer", c))
+
+        fd = self.db.fd(proc.process.pid, "__wal")
+        yield from db.wal.append_and_commit(proc, fd, nrecords=3)
+        self.payments += 1
+
+    # -- agents -------------------------------------------------------------
+
+    def agent_body(self, proc: Proc, agent_index: int):
+        """One DB2-style agent: initialise, run the transaction mix, exit."""
+        rng = random.Random((self.seed, agent_index).__hash__() & 0x7FFFFFFF)
+        yield from self.db.agent_init(proc)
+        for _tx in range(self.tx_per_agent):
+            # user-mode SQL work: parse/optimize (plan cache walk), then
+            # row processing over the agent's private sort/work heap
+            if self.user_work:
+                yield from proc.touch(self._WORK_BUF, 4096,
+                                      work_per_line=self.user_work // 256)
+                yield from proc.touch(self._WORK_BUF + 8192, 2048,
+                                      write=True,
+                                      work_per_line=self.user_work // 512)
+            if rng.random() < self.neworder_fraction:
+                yield from self._neworder(proc, rng)
+            else:
+                yield from self._payment(proc, rng)
+            self.committed += 1
+            if self.think_cycles:
+                yield from proc.call(
+                    "nanosleep", rng.randrange(1, self.think_cycles))
+        yield from self.db.agent_close(proc)
+        yield from proc.exit(0)
+
+    def spawn_agents(self, engine: Engine) -> List[SimProcess]:
+        """Create the agent processes (call after ``db.setup()``)."""
+        self.agents = [
+            engine.spawn(f"db2agent-{i}",
+                         lambda p, i=i: self.agent_body(p, i))
+            for i in range(self.nagents)
+        ]
+        return self.agents
+
+    # -- native baseline (Table 2's "raw" execution) -------------------------
+
+    def run_raw(self) -> int:
+        """Execute the same transaction mix natively (no simulation): pure
+        functional work on the loaded table bytes. Returns committed count."""
+        import copy
+        fs = self.db.engine.os_server.fs
+        cat = self.db.catalog.tables
+        tables = {}
+        for name, info in cat.items():
+            node = fs.lookup(info.path)
+            tables[name] = bytearray(node.data) if node else bytearray()
+        committed = 0
+        for a in range(self.nagents):
+            rng = random.Random((self.seed, a).__hash__() & 0x7FFFFFFF)
+            for _ in range(self.tx_per_agent):
+                rng.random()
+                w = rng.randrange(cat["warehouse"].nrecords)
+                d = rng.randrange(cat["district"].nrecords)
+                c = rng.randrange(cat["customer"].nrecords)
+                for _i in range(8):
+                    rng.randrange(cat["item"].nrecords)
+                    rng.randrange(cat["stock"].nrecords)
+                committed += 1
+        return committed

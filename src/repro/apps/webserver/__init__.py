@@ -1,0 +1,22 @@
+"""Pre-fork web server + SPECWeb96-style driver (paper §4.2).
+
+Pieces: :mod:`fileset` generates the class-structured test files into the
+simulated file system; :mod:`server` is the Apache-like pre-fork worker; the
+:mod:`client` trace player replays an HTTP request trace into the simulated
+TCP/IP stack, paced by response completions (the paper's solution to SPECWeb
+timing out against a slow simulated server).
+"""
+
+from .fileset import FileSet, generate_fileset, make_trace
+from .server import prefork_web_server, worker_body, HEADER_BYTES
+from .client import TracePlayer
+
+__all__ = [
+    "FileSet",
+    "generate_fileset",
+    "make_trace",
+    "prefork_web_server",
+    "worker_body",
+    "HEADER_BYTES",
+    "TracePlayer",
+]

@@ -1,0 +1,128 @@
+"""The trace player (paper §4.2).
+
+"We solve this problem by generating an intermediate HTTP request trace file
+[...] We then implement a trace player that reads the trace file and feeds
+the requests to a web server."
+
+The player is a traffic source outside the simulated machine: it injects
+connection/request frames into the NIC and paces itself on *response
+completion* (bytes received per connection reaching the expected
+content length), never timing out no matter how slow the simulated server
+is. ``nclients`` concurrent request streams model the SPECWeb client
+processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...core.engine import Engine
+from ...traces.http import HttpRequest
+from .fileset import FileSet
+from .server import HEADER_BYTES, QUIT_PATH
+
+
+class TracePlayer:
+    """Replays an HTTP trace into the simulated server."""
+
+    def __init__(self, engine: Engine, trace: List[HttpRequest],
+                 fileset: Optional[FileSet], nclients: int = 4,
+                 port: int = 80, nworkers_to_quit: int = 0) -> None:
+        if nclients <= 0:
+            raise ValueError("nclients must be positive")
+        self.engine = engine
+        self.net = engine.os_server.net
+        self.trace = trace
+        self.sizes = fileset.sizes if fileset is not None else {}
+        self.nclients = nclients
+        self.port = port
+        self.nworkers_to_quit = nworkers_to_quit
+        self._next_conn = 1
+        self._cursor = 0
+        #: conn_id -> (expected_bytes, received_bytes, stream, path)
+        self._open: Dict[int, list] = {}
+        self.completed = 0
+        self.response_cycles: List[int] = []
+        self._start_cycle: Dict[int, int] = {}
+        self._quits_sent = 0
+        self._started = False
+        self.net.on_server_send = self._on_server_send
+
+    # -- driving -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the first requests (call before ``engine.run()``)."""
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self.nclients):
+            self._issue_next(immediate=True)
+
+    def _expected_bytes(self, path: str) -> int:
+        if path == QUIT_PATH:
+            return HEADER_BYTES + 3
+        size = self.sizes.get(path)
+        if size is None:
+            return HEADER_BYTES + 13       # 404 body
+        return HEADER_BYTES + size
+
+    def _issue_next(self, immediate: bool = False) -> None:
+        gs = self.engine.gsched
+        if self._cursor >= len(self.trace):
+            # only shut workers down once every in-flight response is home —
+            # a /quit must not steal a worker that pending requests need
+            if not self._open:
+                self._maybe_quit_workers()
+            return
+        req = self.trace[self._cursor]
+        self._cursor += 1
+        delay = 1 if immediate else max(1, req.think_cycles)
+        gs.schedule_after(delay, self._fire, req)
+
+    def _fire(self, req: HttpRequest) -> None:
+        gs = self.engine.gsched
+        conn_id = self._next_conn
+        self._next_conn += 1
+        self._open[conn_id] = [self._expected_bytes(req.path), 0, req.path]
+        self._start_cycle[conn_id] = gs.now
+        self.net.client_connect(conn_id, self.port, gs.now)
+        # request data follows the SYN after a small wire gap
+        gs.schedule_after(200, self._send_request, conn_id, req)
+
+    def _send_request(self, conn_id: int, req: HttpRequest) -> None:
+        self.net.client_send(conn_id, req.request_bytes(),
+                             self.engine.gsched.now)
+
+    # -- response pacing -------------------------------------------------------
+
+    def _on_server_send(self, conn_id: int, nbytes: int,
+                        _payload: object) -> None:
+        state = self._open.get(conn_id)
+        if state is None:
+            return
+        state[1] += nbytes
+        if state[1] >= state[0]:
+            # response complete: close, record, move on
+            del self._open[conn_id]
+            now = self.engine.gsched.now
+            started = self._start_cycle.pop(conn_id)
+            if state[2] != QUIT_PATH:   # shutdown requests aren't workload
+                self.response_cycles.append(now - started)
+                self.completed += 1
+            self.net.client_close(conn_id, now)
+            self._issue_next()
+
+    def _maybe_quit_workers(self) -> None:
+        """End of trace: one /quit request per worker so none is left
+        blocked in naccept."""
+        while self._quits_sent < self.nworkers_to_quit:
+            self._quits_sent += 1
+            self.engine.gsched.schedule_after(
+                1000 * self._quits_sent, self._fire,
+                HttpRequest(0, QUIT_PATH))
+
+    # -- results -----------------------------------------------------------
+
+    def mean_response_cycles(self) -> float:
+        r = self.response_cycles
+        return sum(r) / len(r) if r else 0.0

@@ -1,0 +1,139 @@
+"""Apache-like pre-fork web server.
+
+The parent sets up the listening socket; worker processes inherit it (the
+pre-fork model: all workers block in ``naccept`` on the same socket) and
+serve one connection at a time: read the request, open the file, loop
+kreadv-from-file / kwritev-to-socket, close. This call mix — naccept,
+kreadv, kwritev, open, close, send over TCP — is exactly the Table 1
+SPECWeb kernel profile.
+
+A ``GET /quit`` request makes a worker exit after replying; the trace player
+sends one per worker at end of trace so nobody is left blocked in accept.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...core.engine import Engine
+from ...core.frontend import Proc, SimProcess
+from ...osim.server import FdEntry
+
+#: fixed HTTP response header size (padded "HTTP/1.0 200 OK ..." block)
+HEADER_BYTES = 64
+#: user-space buffers in each worker's address space
+_REQ_BUF = 0x0200_0000
+_FILE_BUF = 0x0300_0000
+#: per-read chunk (Apache uses 8 KB buffers)
+CHUNK = 8192
+
+QUIT_PATH = "/quit"
+#: user-mode cycles per request: URI parsing, config walk, response build,
+#: access-log formatting (Apache's ~15 % user share in the paper's profile)
+USER_WORK_PER_REQUEST = 9_000
+#: user-mode cycles per KiB of file data handled (buffer management)
+USER_WORK_PER_KB = 600
+
+
+def _parse_request(data: bytes) -> Optional[str]:
+    """Extract the path of a ``GET <path> HTTP/1.0`` request."""
+    try:
+        line = data.split(b"\r\n", 1)[0].decode()
+        method, path, _ = line.split(" ", 2)
+        if method != "GET":
+            return None
+        return path
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+def worker_body(proc: Proc, listen_fd: int, stats: dict):
+    """One pre-fork worker: accept → serve → repeat until /quit."""
+    while True:
+        r = yield from proc.call("naccept", listen_fd)
+        if not r.ok:
+            break
+        cfd = r.value
+        r = yield from proc.call("kreadv", cfd, _REQ_BUF, 4096)
+        path = _parse_request(r.data or b"")
+        quit_after = path == QUIT_PATH
+        # user-mode request processing: parse, map URI, check config
+        yield from proc.touch(_REQ_BUF, 256, work_per_line=40)
+        proc.compute(USER_WORK_PER_REQUEST // 2)
+
+        if path is None or quit_after:
+            body = b"bye" if quit_after else b"bad request"
+            hdr = _response_header(len(body))
+            yield from proc.call("kwritev", cfd, _FILE_BUF,
+                                 HEADER_BYTES + len(body), hdr + body)
+            yield from proc.call("close", cfd)
+            stats["served"] = stats.get("served", 0) + 1
+            if quit_after:
+                break
+            continue
+
+        r = yield from proc.call("open", path, 0)
+        if not r.ok:
+            body = b"404 not found"
+            hdr = _response_header(len(body))
+            yield from proc.call("kwritev", cfd, _FILE_BUF,
+                                 HEADER_BYTES + len(body), hdr + body)
+            yield from proc.call("close", cfd)
+            stats["errors"] = stats.get("errors", 0) + 1
+            continue
+        ffd = r.value
+        st = yield from proc.call("statx", path)
+        size = st.data["size"] if st.ok else 0
+
+        # header first, then the file in CHUNK pieces
+        hdr = _response_header(size)
+        yield from proc.call("kwritev", cfd, _FILE_BUF, HEADER_BYTES, hdr)
+        sent = 0
+        while sent < size:
+            r = yield from proc.call("kreadv", ffd, _FILE_BUF, CHUNK)
+            if r.value <= 0:
+                break
+            yield from proc.call("kwritev", cfd, _FILE_BUF, r.value, r.data)
+            sent += r.value
+        yield from proc.call("close", ffd)
+        yield from proc.call("close", cfd)
+        # user-mode response accounting + access-log line formatting
+        proc.compute(USER_WORK_PER_REQUEST // 2
+                     + (sent >> 10) * USER_WORK_PER_KB)
+        yield from proc.store(_REQ_BUF + 512, 64)
+        stats["served"] = stats.get("served", 0) + 1
+        stats["bytes"] = stats.get("bytes", 0) + sent
+    yield from proc.exit(0)
+
+
+def _response_header(content_length: int) -> bytes:
+    hdr = (f"HTTP/1.0 200 OK\r\nContent-Length: {content_length}\r\n"
+           f"Server: compass-httpd\r\n\r\n").encode()
+    return hdr.ljust(HEADER_BYTES, b" ")[:HEADER_BYTES]
+
+
+def prefork_web_server(engine: Engine, nworkers: int = 4,
+                       port: int = 80) -> tuple:
+    """Create the listening socket and spawn ``nworkers`` worker processes
+    inheriting it (pre-fork). Returns ``(workers, stats_dict)``."""
+    if nworkers <= 0:
+        raise ValueError("nworkers must be positive")
+    net = engine.os_server.net
+    stats: dict = {}
+    # parent's socket/bind/listen, then fork: children inherit the fd
+    lsid = net.socket(0)
+    err = net.bind(lsid, port)
+    if err:
+        raise RuntimeError(f"bind failed: errno {err}")
+    net.listen(lsid)
+    workers: List[SimProcess] = []
+    for i in range(nworkers):
+        def body(proc, _lsid=lsid):
+            lfd = engine.os_server.fd_alloc(
+                proc.process.pid, FdEntry("socket", sid=_lsid))
+            net.addref(_lsid)
+            return (yield from worker_body(proc, lfd, stats))
+        workers.append(engine.spawn(f"httpd-w{i}", body))
+    # the parent's own reference is dropped: workers now own the listener
+    net.close(lsid)
+    return workers, stats

@@ -1,0 +1,3 @@
+"""Simulation core: engine, communicator, global scheduler, event
+vocabulary, frontend-process abstraction, configuration and statistics.
+See DESIGN.md for how these map onto the paper's Figure 1."""

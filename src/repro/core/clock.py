@@ -1,0 +1,76 @@
+"""Cycle-domain time helpers.
+
+Simulated time is a non-negative integer number of *CPU cycles* of the target
+machine. The paper's frontends accumulate an "execution time" value in cycles
+(one per process, stored in the event port); the backend orders all work on a
+single global cycle axis. This module centralises conversions between cycles,
+nanoseconds and derived units so device models (disk, ethernet, timer) can be
+specified in physical units while the core stays integer-cycle exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cycles are plain ints; alias for documentation purposes.
+Cycles = int
+
+
+@dataclass(frozen=True, slots=True)
+class ClockDomain:
+    """A fixed-frequency clock used to convert physical time to cycles.
+
+    The paper's host and target are 133 MHz PowerPC 604 parts; the default
+    target frequency follows that. All conversions round *up* (a device busy
+    for 1.2 cycles occupies 2), keeping latencies conservative and integral.
+    """
+
+    freq_hz: int = 133_000_000
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {self.freq_hz}")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Length of one cycle in nanoseconds."""
+        return 1e9 / self.freq_hz
+
+    def ns_to_cycles(self, ns: float) -> Cycles:
+        """Convert nanoseconds to cycles, rounding up."""
+        if ns < 0:
+            raise ValueError(f"negative duration: {ns} ns")
+        c = int(ns * self.freq_hz / 1e9)
+        if c * 1e9 < ns * self.freq_hz:
+            c += 1
+        return c
+
+    def us_to_cycles(self, us: float) -> Cycles:
+        """Convert microseconds to cycles, rounding up."""
+        return self.ns_to_cycles(us * 1e3)
+
+    def ms_to_cycles(self, ms: float) -> Cycles:
+        """Convert milliseconds to cycles, rounding up."""
+        return self.ns_to_cycles(ms * 1e6)
+
+    def s_to_cycles(self, s: float) -> Cycles:
+        """Convert seconds to cycles, rounding up."""
+        return self.ns_to_cycles(s * 1e9)
+
+    def cycles_to_ns(self, cycles: Cycles) -> float:
+        """Convert cycles to nanoseconds."""
+        return cycles * 1e9 / self.freq_hz
+
+    def cycles_to_s(self, cycles: Cycles) -> float:
+        """Convert cycles to seconds."""
+        return cycles / self.freq_hz
+
+    def bytes_at_rate(self, nbytes: int, bytes_per_sec: float) -> Cycles:
+        """Cycles needed to move ``nbytes`` at ``bytes_per_sec`` (rounded up)."""
+        if bytes_per_sec <= 0:
+            raise ValueError(f"rate must be positive, got {bytes_per_sec}")
+        return self.ns_to_cycles(nbytes / bytes_per_sec * 1e9)
+
+
+#: Default target clock (133 MHz PowerPC, as in the paper's Table 2 host).
+DEFAULT_CLOCK = ClockDomain()

@@ -1,0 +1,631 @@
+"""The COMPASS simulation engine.
+
+Binds the pieces of Figure 1 together: frontend processes exchange events
+with the backend through the communicator; the backend services each event
+(memory system, sync managers, OS dispatch), replies, and lets the frontend
+run ahead to its next event; devices and deferred work live in the global
+event scheduler. The loop always takes whichever is earliest — the smallest
+frontend event-port timestamp or the head of the task queue — so the whole
+simulation executes in one global time order.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from collections import deque
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from .. import devices as _devices
+from .. import osim as _osim
+from ..mem.hierarchy import MemorySystem
+from ..mem.pagetable import MajorFault
+from . import events as ev
+from .communicator import Communicator
+from .config import SimConfig
+from .errors import DeadlockError, FrontendError
+from .frontend import (Coroutine, FrontendClock, Proc, ProcState, SimProcess,
+                       WaitToken)
+from .scheduler import GlobalScheduler
+from .stats import StatsRegistry
+from .sync import BarrierManager, LockManager, lock_address
+
+class _SignalMark:
+    """Stats marker for signal-wrapper frames (they cost nothing)."""
+
+    source = "signal"
+    handler_cycles = 0
+
+
+_SIGNAL_MARK = _SignalMark()
+
+#: default private VMA for spawned processes (text+data+heap+stack)
+DEFAULT_ANON_BASE = 0x0001_0000
+DEFAULT_ANON_END = 0xB000_0000
+#: region managed by the mmap/shmat address allocator
+MMAP_BASE = 0xB000_0000
+
+
+class Engine:
+    """One simulated machine plus its workload."""
+
+    def __init__(self, cfg: SimConfig,
+                 stats: Optional[StatsRegistry] = None) -> None:
+        cfg.validate()
+        self.cfg = cfg
+        self.stats = stats if stats is not None else StatsRegistry(cfg.num_cpus)
+        self.gsched = GlobalScheduler()
+        self.comm = Communicator(cfg.num_cpus)
+        self.memsys = MemorySystem(cfg, self.stats)
+        self.locks = LockManager()
+        self.barriers = BarrierManager()
+        self.procsched = _osim.ProcessScheduler(
+            cfg.num_cpus, cfg.os.scheduler, self.memsys.vmm.cpu_node)
+        self.intctl = _osim.InterruptController(self.comm.cpus)
+        self.intctl.post_hook = self._interrupt_posted
+        self.timer = _devices.IntervalTimer(
+            self.gsched, self.intctl, cfg.os.timer_interval,
+            cfg.os.timer_handler_cycles, cfg.num_cpus)
+        if cfg.os.preemptive:
+            self.timer.on_tick.append(self._preempt_tick)
+        self.disk = _devices.Disk("hd0", self.gsched, self.intctl,
+                                  cfg.disk, cfg.clock)
+        self.nic = _devices.EthernetNic("en0", self.gsched, self.intctl,
+                                        cfg.ethernet, cfg.clock)
+        #: signal manager (§4.1 non-augmented wrapper delivery)
+        self.signals = _osim.signals.SignalManager()
+        # the OS server pairs threads with processes and owns the
+        # category-1 syscall models (fs, sockets, ipc)
+        self.os_server = _osim.OSServer(self)
+        #: per-process mmap address allocator cursor
+        self._mmap_cursor: Dict[int, int] = {}
+        #: pid -> tokens to wake when that process exits (waitpid support)
+        self._exit_watchers: Dict[int, List[WaitToken]] = {}
+        self.events_processed = 0
+        self._max_cycles = cfg.max_cycles
+        self._timer_started = False
+        #: count of not-yet-exited processes (kept in step with spawns/exits)
+        self._live = 0
+        #: cycle of the last frontend progress (event processed / wake /
+        #: dispatch); when only housekeeping tasks fire for this many cycles
+        #: with live processes, the run is declared deadlocked
+        self._last_progress = 0
+        self._deadlock_window = max(10 * cfg.os.timer_interval, 10_000_000)
+
+    # ------------------------------------------------------------------
+    # process setup
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: str,
+              app: Callable[[Proc], Coroutine],
+              map_default: bool = True,
+              clock: Optional[FrontendClock] = None) -> SimProcess:
+        """Create a frontend process running ``app(proc_api)``.
+
+        ``map_default=True`` installs the standard private VMA so the app can
+        reference heap/stack addresses immediately.
+        """
+        proc = SimProcess(name, clock=clock)
+        self.memsys.vmm.new_space(proc.pid)
+        if map_default:
+            self.memsys.vmm.map_anon(proc.pid, DEFAULT_ANON_BASE,
+                                     DEFAULT_ANON_END - DEFAULT_ANON_BASE)
+        api = Proc(proc)
+        proc.base_frame(app(api))
+        proc.vtime = self.gsched.now
+        proc.acct_mark = proc.vtime
+        self.comm.register(proc)
+        self._live += 1
+        self.os_server.pair(proc)
+        disp = self.procsched.admit(proc)
+        if disp is not None:
+            self._dispatch(disp[0], disp[1], self.gsched.now)
+        return proc
+
+    def spawn_interpreter(self, name: str, interp) -> SimProcess:
+        """Spawn a frontend executing an ISA interpreter (the faithful
+        instrumented-assembly path). The interpreter's pending-cycle counter
+        becomes the process clock."""
+        machine = interp.machine
+
+        class _MachineClock:
+            """Adapter: the interpreter accumulates into machine.pending."""
+            __slots__ = ()
+
+            @property
+            def pending(self) -> int:
+                return machine.pending
+
+            @pending.setter
+            def pending(self, v: int) -> None:
+                machine.pending = v
+
+        return self.spawn(name, lambda _api: interp.run(),
+                          clock=_MachineClock())
+
+    def mmap_alloc(self, pid: int, size: int) -> int:
+        """Pick a free address in the mmap region (page aligned)."""
+        ps = self.cfg.backend.memory.page_size
+        size = (size + ps - 1) & ~(ps - 1)
+        cur = self._mmap_cursor.get(pid, MMAP_BASE)
+        self._mmap_cursor[pid] = cur + size
+        return cur
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> StatsRegistry:
+        """Simulate until every process exits (or a bound is hit)."""
+        if not self._timer_started:
+            self.timer.start()
+            self._timer_started = True
+        t0 = _wallclock.perf_counter()
+        budget = max_events if max_events is not None else (1 << 62)
+        while budget > 0:
+            if self._live <= 0:
+                break
+            t_task = self.gsched.next_time()
+            cand = self.comm.select()
+            if cand is None:
+                if t_task is None:
+                    self._report_deadlock(self.comm.live_processes())
+                if until is not None and t_task > until:
+                    break
+                task = self.gsched.pop_due(t_task)
+                self.gsched.run_task(task)
+                if (self.comm.next_event_time() is None
+                        and self.gsched.now - self._last_progress
+                        > self._deadlock_window):
+                    # long silence is only a deadlock when nobody is waiting
+                    # for a device completion: BLOCKED processes have wakers
+                    # scheduled (a deep disk queue can legitimately run tens
+                    # of millions of cycles ahead of the frontends)
+                    live = self.comm.live_processes()
+                    if not any(p.state == ProcState.BLOCKED for p in live):
+                        self._report_deadlock(live)
+                    self._last_progress = self.gsched.now
+                continue
+            et = cand.port_event.time
+            if t_task is not None and t_task <= et:
+                task = self.gsched.pop_due(t_task)
+                self.gsched.run_task(task)
+                continue
+            if until is not None and et > until:
+                break
+            if et > self._max_cycles:
+                raise DeadlockError(
+                    f"simulation exceeded max_cycles={self._max_cycles}"
+                )
+            event = cand.port_event
+            cand.port_event = None
+            self.gsched.advance_to(et)
+            self.events_processed += 1
+            self._last_progress = et
+            budget -= 1
+            self._handle_event(cand, event)
+        self.timer.stop()
+        self.stats.end_cycle = self.gsched.now
+        self.stats.host_seconds += _wallclock.perf_counter() - t0
+        self._account_trailing_idle()
+        return self.stats
+
+    def _report_deadlock(self, live: List[SimProcess]) -> None:
+        lines = [f"  {p!r}" for p in live]
+        raise DeadlockError(
+            "no frontend can make progress and the task queue is empty:\n"
+            + "\n".join(lines)
+        )
+
+    def _account_trailing_idle(self) -> None:
+        for c in self.comm.cpus:
+            if c.running_pid < 0 and self.gsched.now > c.idle_since:
+                self.stats.cpu[c.index].idle += self.gsched.now - c.idle_since
+                c.idle_since = self.gsched.now
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+
+    def _handle_event(self, proc: SimProcess, event: ev.Event) -> None:
+        kind = event.kind
+        now = self.gsched.now
+        resume = True
+
+        if kind <= ev.EvKind.RMW:   # READ / WRITE / RMW
+            lat, major = self.memsys.access(
+                proc.pid, event.addr, event.size,
+                kind != ev.EvKind.READ, proc.cpu, now,
+                atomic=(kind == ev.EvKind.RMW))
+            if major is not None:
+                self._push_fault_handler(proc, event, major)
+            else:
+                proc.vtime += lat
+                proc.reply = lat
+        elif kind == ev.EvKind.ADVANCE:
+            proc.reply = 0
+        elif kind == ev.EvKind.LOCK:
+            resume = self._do_lock(proc, event, now)
+        elif kind == ev.EvKind.UNLOCK:
+            self._do_unlock(proc, event, now)
+        elif kind == ev.EvKind.BARRIER:
+            resume = self._do_barrier(proc, event)
+        elif kind == ev.EvKind.SYSCALL:
+            self._do_syscall(proc, event, now)
+        elif kind == ev.EvKind.EXIT:
+            proc.exit_status = event.arg
+            proc.reply = 0
+        else:  # pragma: no cover
+            raise FrontendError(f"unknown event kind {kind}")
+
+        self._charge(proc, event.mode)
+        if resume:
+            self._after_event(proc)
+
+    # -- memory faults -----------------------------------------------------
+
+    def _push_fault_handler(self, proc: SimProcess, event: ev.Event,
+                            fault: MajorFault) -> None:
+        """Major (file-backed) page fault: run the VM trap path, then retry
+        the faulting reference — the paper's precise-trap mechanism."""
+        frame = self.os_server.vm_fault_handler(proc, fault)
+        proc.push_frame(frame, "kernel", ("retry", event))
+        proc.reply = None
+        self.stats.counter("major_fault_traps").add()
+
+    # -- synchronisation -----------------------------------------------------
+
+    def _do_lock(self, proc: SimProcess, event: ev.Event, now: int) -> bool:
+        lid = event.arg
+        lat, _ = self.memsys.access(proc.pid, lock_address(lid), 4, True,
+                                    proc.cpu, now, atomic=True)
+        proc.vtime += lat
+        if self.locks.acquire(lid, proc):
+            proc.reply = lat
+            return True
+        # contended: block through the process scheduler (AIX-style sleeping
+        # lock — the CPU is handed to a ready process, §3.3.3; spinning
+        # waiters would deadlock oversubscribed workloads because SYNCWAIT
+        # processes emit no events and thus can never be preempted)
+        self.stats.counter("lock_contention").add(key=lid)
+        self._sync_park(proc, ProcState.SYNCWAIT)
+        return False
+
+    def _do_unlock(self, proc: SimProcess, event: ev.Event, now: int) -> None:
+        lid = event.arg
+        lat, _ = self.memsys.access(proc.pid, lock_address(lid), 4, True,
+                                    proc.cpu, now)
+        proc.vtime += lat
+        proc.reply = lat
+        nxt = self.locks.release(lid, proc)
+        if nxt is not None:
+            # lock-line handoff cost to the new holder
+            self._sync_release(nxt, proc.vtime, reply=0)
+
+    def _do_barrier(self, proc: SimProcess, event: ev.Event) -> bool:
+        bid, count = event.arg
+        released = self.barriers.arrive(bid, count, proc)
+        if released is None:
+            self._sync_park(proc, ProcState.SYNCWAIT)
+            return False
+        for w in released:
+            self._sync_release(w, proc.vtime, reply=0)
+        proc.reply = 0
+        return True
+
+    def _sync_park(self, proc: SimProcess, state: ProcState) -> None:
+        """Wait for a lock/barrier grant: release the processor (the
+        blocking-OS-call protocol of §3.3.3 applied to synchronisation)."""
+        self._charge(proc, proc.mode)
+        proc.state = state
+        cpu_state = self.comm.cpus[proc.cpu]
+        cpu_state.time = max(cpu_state.time, proc.vtime)
+        self.comm.mark_not_running(proc)
+        disp = self.procsched.release_cpu(proc)
+        cpu_state.running_pid = -1
+        cpu_state.idle_since = cpu_state.time
+        if disp is not None:
+            nxt, cpu = disp
+            self._dispatch(nxt, cpu, max(self.gsched.now, cpu_state.time))
+        else:
+            self._interrupt_posted(cpu_state.index)
+
+    def _sync_release(self, proc: SimProcess, at: int, reply: int) -> None:
+        """Grant a lock/barrier to a parked process: back to the scheduler."""
+        proc.vtime = max(proc.vtime, at, self.gsched.now)
+        proc.reply = reply
+        disp = self.procsched.admit(proc)
+        if disp is not None:
+            self._dispatch(disp[0], disp[1], proc.vtime)
+
+    # -- syscalls ---------------------------------------------------------
+
+    def _do_syscall(self, proc: SimProcess, event: ev.Event, now: int) -> None:
+        name, args = event.arg
+        entry = self.os_server.lookup(name)
+        self.stats.syscall_counts[name] += 1
+        if entry is None:
+            proc.reply = ev.SyscallResult(-1, ev.ENOSYS)
+            return
+        category, handler = entry
+        if category == 2:
+            # backend-modeled (category 2): immediate effect, direct cost
+            result, kcycles = handler(self, proc, *args)
+            proc.vtime += kcycles
+            self.stats.cpu[proc.cpu].kernel += kcycles
+            self.stats.syscall_cycles[name] += kcycles
+            proc.reply = result
+            return
+        # category 1: run instrumented kernel code in the OS thread
+        sys_ctx = self.os_server.context_for(proc)
+        frame = handler(sys_ctx, *args)
+        proc.push_frame(frame, "kernel", ("syscall", (name, proc.vtime)))
+        proc.reply = None
+
+    # ------------------------------------------------------------------
+    # stepping, interrupts, preemption
+    # ------------------------------------------------------------------
+
+    def _after_event(self, proc: SimProcess) -> None:
+        """Post-processing at an event boundary: interrupt poll, preemption,
+        then run the frontend ahead to its next event."""
+        if proc.state != ProcState.RUNNING:
+            return
+        cpu_state = self.comm.cpus[proc.cpu]
+        if (cpu_state.irq_pending and cpu_state.irq_enabled
+                and proc.intr_enabled and proc.mode != "interrupt"):
+            for intr in self.intctl.pending_for(proc.cpu):
+                self.stats.interrupt_counts[intr.source] += 1
+                frame = self.intctl.handler_frame(intr, proc.clock)
+                proc.push_frame(frame, "interrupt",
+                                ("interrupt", (intr, proc.reply, proc.vtime)))
+                proc.reply = None
+        if not proc.kernel_mode:
+            signo = self.signals.pending_for(proc.pid)
+            while signo is not None:
+                # §4.1: the wrapper runs in user mode with event generation
+                # disabled; pushing it costs nothing simulated
+                frame = self.signals.wrapper_frame(proc, signo)
+                proc.push_frame(frame, "user",
+                                ("interrupt", (_SIGNAL_MARK, proc.reply,
+                                               proc.vtime)))
+                proc.reply = None
+                signo = self.signals.pending_for(proc.pid)
+        if proc.preempt_pending:
+            proc.preempt_pending = False
+            if not proc.kernel_mode and self.procsched.ready:
+                self._preempt_now(proc)
+                return
+        self._step(proc)
+
+    def _interrupt_posted(self, cpu: int) -> None:
+        """Post-hook from the interrupt controller: when the target CPU has
+        no event-producing frontend (idle, spinning on a lock/barrier, or its
+        process just blocked), service the interrupt immediately — the idle
+        loop takes interrupts without waiting for a memory event."""
+        cpu_state = self.comm.cpus[cpu]
+        if not cpu_state.irq_enabled:
+            return
+        pid = cpu_state.running_pid
+        if pid >= 0:
+            proc = self.comm.processes.get(pid)
+            if (proc is not None and proc.state == ProcState.RUNNING
+                    and proc.intr_enabled):
+                return   # the frontend will poll the flag at its next event
+            if proc is not None and not proc.intr_enabled:
+                return   # masked: stays pending until re-enabled
+        start = max(self.gsched.now, cpu_state.time)
+        if pid < 0 and start > cpu_state.idle_since:
+            self.stats.cpu[cpu].idle += start - cpu_state.idle_since
+        # charge all handler time first: wake actions may dispatch a process
+        # onto this very CPU, and it must see the post-handler clock
+        pending = self.intctl.pending_for(cpu)
+        t = start
+        for intr in pending:
+            self.stats.interrupt_counts[intr.source] += 1
+            self.stats.interrupt_cycles[intr.source] += intr.handler_cycles
+            self.stats.cpu[cpu].interrupt += intr.handler_cycles
+            t += intr.handler_cycles
+        cpu_state.time = t
+        if pid < 0:
+            cpu_state.idle_since = t
+        for intr in pending:
+            self.intctl.direct_service(intr)
+
+    def _preempt_tick(self, cpu: int, now: int) -> None:
+        """Timer hook: flag the process on ``cpu`` for pre-emption once it
+        has held the CPU for a full quantum (the paper's changeable
+        pre-emption interval)."""
+        pid = self.procsched.on_cpu[cpu]
+        if pid >= 0:
+            p = self.comm.processes.get(pid)
+            if (p is not None and p.state == ProcState.RUNNING
+                    and now - p.run_since >= self.cfg.os.quantum):
+                p.preempt_pending = True
+
+    def _preempt_now(self, proc: SimProcess) -> None:
+        cs = self.cfg.os.ctx_switch_cycles
+        proc.vtime += cs
+        self.stats.cpu[proc.cpu].ctx_switch += cs
+        proc.acct_mark = proc.vtime
+        cpu_state = self.comm.cpus[proc.cpu]
+        cpu_state.time = max(cpu_state.time, proc.vtime)
+        self.comm.mark_not_running(proc)
+        disp = self.procsched.preempt(proc)
+        if disp is None:
+            # nobody was waiting after all: keep running, restart the quantum
+            proc.run_since = proc.vtime
+            self.comm.mark_running(proc)
+            proc.state = ProcState.RUNNING
+            self._step(proc)
+            return
+        cpu_state.running_pid = -1
+        cpu_state.idle_since = cpu_state.time
+        nxt, cpu = disp
+        self._dispatch(nxt, cpu, max(self.gsched.now, cpu_state.time))
+
+    # -- blocking / waking (paper §3.3.3) ------------------------------------
+
+    def _block(self, proc: SimProcess, token: WaitToken) -> None:
+        if token.woken:
+            # completion raced ahead of the block: resume immediately
+            proc.reply = token.value
+            self._step(proc)
+            return
+        proc.state = ProcState.BLOCKED
+        proc.wait = token
+        token.waker = lambda t, p=proc: self._token_woken(p, t)
+        cpu_state = self.comm.cpus[proc.cpu]
+        cpu_state.time = max(cpu_state.time, proc.vtime)
+        self.comm.mark_not_running(proc)
+        disp = self.procsched.release_cpu(proc)
+        cpu_state.running_pid = -1
+        cpu_state.idle_since = cpu_state.time
+        if disp is not None:
+            nxt, cpu = disp
+            self._dispatch(nxt, cpu, max(self.gsched.now, cpu_state.time))
+        else:
+            self._interrupt_posted(cpu_state.index)
+
+    def _token_woken(self, proc: SimProcess, token: WaitToken) -> None:
+        if proc.state != ProcState.BLOCKED or proc.wait is not token:
+            return
+        self._last_progress = max(self._last_progress, self.gsched.now)
+        proc.wait = None
+        proc.reply = token.value
+        proc.vtime = max(proc.vtime, self.gsched.now)
+        disp = self.procsched.admit(proc)
+        if disp is not None:
+            self._dispatch(disp[0], disp[1], self.gsched.now)
+
+    def _dispatch(self, proc: SimProcess, cpu: int, at: int) -> None:
+        """Bind ``proc`` to ``cpu`` at cycle ``at`` (plus context switch)."""
+        cpu_state = self.comm.cpus[cpu]
+        start = max(at, cpu_state.time)
+        if cpu_state.running_pid < 0 and start > cpu_state.idle_since:
+            self.stats.cpu[cpu].idle += start - cpu_state.idle_since
+        cs = self.cfg.os.ctx_switch_cycles
+        self.stats.cpu[cpu].ctx_switch += cs
+        proc.vtime = max(proc.vtime, start) + cs
+        proc.acct_mark = proc.vtime
+        proc.run_since = proc.vtime
+        cpu_state.time = proc.vtime
+        cpu_state.running_pid = proc.pid
+        self.comm.mark_running(proc)
+        self._step(proc)
+
+    # -- the stepper ----------------------------------------------------------
+
+    def _step(self, proc: SimProcess) -> None:
+        """Run the frontend ahead until it parks an event at its port,
+        blocks on a wait token, or exits."""
+        send_val = proc.reply
+        proc.reply = None
+        while True:
+            top = proc.frames[-1]
+            try:
+                out = top.send(send_val)
+            except StopIteration as si:
+                if len(proc.frames) == 1:
+                    self._on_exit(proc, si.value)
+                    return
+                kind, payload = proc.pop_frame()
+                if kind == "syscall":
+                    # kernel CPU time is attributed per syscall in _charge
+                    # (wall time would double-count disk-blocked waits)
+                    rv = si.value
+                    if not isinstance(rv, ev.SyscallResult):
+                        rv = ev.SyscallResult(rv if rv is not None else 0)
+                    send_val = rv
+                elif kind == "interrupt":
+                    intr, saved, t0 = payload
+                    self.stats.interrupt_cycles[intr.source] += (
+                        proc.vtime - t0)
+                    send_val = saved
+                elif kind == "retry":
+                    orig = payload
+                    lat, major = self.memsys.access(
+                        proc.pid, orig.addr, orig.size,
+                        orig.kind != ev.EvKind.READ, proc.cpu,
+                        self.gsched.now,
+                        atomic=(orig.kind == ev.EvKind.RMW))
+                    if major is not None:
+                        frame = self.os_server.vm_fault_handler(proc, major)
+                        proc.push_frame(frame, "kernel", ("retry", orig))
+                        send_val = None
+                        continue
+                    proc.vtime += lat
+                    self._charge(proc, orig.mode)
+                    send_val = lat
+                else:  # pragma: no cover
+                    raise FrontendError(f"bad frame meta {kind!r}")
+                continue
+            if isinstance(out, WaitToken):
+                self._charge(proc, proc.mode)
+                self._block(proc, out)
+                return
+            # an Event: stamp it and park it at the event port
+            out.time = proc.vtime + proc.clock.pending
+            proc.clock.pending = 0
+            proc.vtime = out.time
+            out.pid = proc.pid
+            out.mode = proc.mode
+            out.kernel = proc.kernel_mode
+            proc.port_event = out
+            return
+
+    def watch_exit(self, pid: int, token: WaitToken) -> None:
+        """Wake ``token`` when process ``pid`` exits (waitpid support)."""
+        proc = self.comm.processes.get(pid)
+        if proc is None or proc.state == ProcState.DONE:
+            token.wake(proc.exit_status if proc else -1)
+            return
+        self._exit_watchers.setdefault(pid, []).append(token)
+
+    def _on_exit(self, proc: SimProcess, status: Any) -> None:
+        proc.state = ProcState.DONE
+        self._live -= 1
+        if proc.exit_status is None:
+            proc.exit_status = status if isinstance(status, int) else 0
+        self._charge(proc, "user")
+        self.signals.clear(proc.pid)
+        for token in self._exit_watchers.pop(proc.pid, []):
+            token.wake(proc.exit_status)
+        self.comm.mark_not_running(proc)
+        self.os_server.unpair(proc)
+        if proc.cpu >= 0:
+            cpu_state = self.comm.cpus[proc.cpu]
+            cpu_state.time = max(cpu_state.time, proc.vtime)
+            disp = self.procsched.release_cpu(proc)
+            cpu_state.running_pid = -1
+            cpu_state.idle_since = cpu_state.time
+            if disp is not None:
+                nxt, cpu = disp
+                self._dispatch(nxt, cpu, max(self.gsched.now, cpu_state.time))
+        else:
+            self.procsched.remove(proc)
+
+    # -- accounting -----------------------------------------------------------
+
+    def _charge(self, proc: SimProcess, mode: str) -> None:
+        delta = proc.vtime - proc.acct_mark
+        if delta <= 0 or proc.cpu < 0:
+            return
+        c = self.stats.cpu[proc.cpu]
+        if mode == "kernel":
+            c.kernel += delta
+            for meta in reversed(proc.frame_meta):
+                if meta[0] == "syscall":
+                    self.stats.syscall_cycles[meta[1][0]] += delta
+                    break
+                if meta[0] == "retry":
+                    self.stats.syscall_cycles["__vm_fault"] += delta
+                    break
+        elif mode == "interrupt":
+            c.interrupt += delta
+        else:
+            c.user += delta
+        proc.acct_mark = proc.vtime
+        cpu_state = self.comm.cpus[proc.cpu]
+        if proc.vtime > cpu_state.time:
+            cpu_state.time = proc.vtime

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the COMPASS reproduction.
+
+All simulator-raised errors derive from :class:`CompassError` so callers can
+catch simulator failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CompassError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigError(CompassError):
+    """Raised for invalid or inconsistent configuration values."""
+
+
+class SchedulerError(CompassError):
+    """Raised by the global event scheduler on protocol violations
+    (e.g. scheduling a task in the past)."""
+
+
+class CommunicatorError(CompassError):
+    """Raised by the communicator on event-port protocol violations."""
+
+
+class FrontendError(CompassError):
+    """Raised when a frontend coroutine misbehaves (bad yield, double exit)."""
+
+
+class MemoryError_(CompassError):
+    """Raised by the memory system (bad address, unmapped page without a
+    fault handler, misaligned descriptor)."""
+
+
+class PageFault(CompassError):
+    """Internal signal: a virtual address has no valid translation.
+
+    Caught by the engine, which invokes the VM trap path (category-2
+    handling); it is an error only if it escapes to user code.
+    """
+
+    def __init__(self, pid: int, vaddr: int, write: bool) -> None:
+        super().__init__(f"page fault pid={pid} vaddr={vaddr:#x} write={write}")
+        self.pid = pid
+        self.vaddr = vaddr
+        self.write = write
+
+
+class ProtectionFault(MemoryError_):
+    """A reference violated segment permissions."""
+
+
+class OSError_(CompassError):
+    """Base for simulated-OS failures (as opposed to errno returns, which are
+    normal results)."""
+
+
+class DeadlockError(CompassError):
+    """Raised when the communicator detects that no frontend can make
+    progress (all blocked and no pending backend work)."""
+
+
+class InstrumentationError(CompassError):
+    """Raised by the instrumentor for malformed programs."""
+
+
+class DeviceError(CompassError):
+    """Raised by physical device models for invalid requests."""
+
+
+class HostError(CompassError):
+    """Raised by the host-parallel runtime (worker death, protocol drift)."""

@@ -1,0 +1,210 @@
+"""Event vocabulary exchanged between frontends and the backend.
+
+In COMPASS, instrumented frontend code fills out an *event data structure*
+for every memory reference (reference type, effective address, size, cycle of
+issue) and passes it to the backend through the event port. Synchronisation
+instructions and OS calls also produce events. This module defines those
+records.
+
+Events are deliberately small ``__slots__`` objects: the simulator creates
+one per simulated memory reference, which makes this the hottest allocation
+site in the system (see the HPC guide notes in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any, Optional, Tuple
+
+
+class EvKind(IntEnum):
+    """Discriminator for :class:`Event` payloads."""
+
+    #: Data load. ``addr``/``size`` give the virtual reference.
+    READ = 0
+    #: Data store.
+    WRITE = 1
+    #: Atomic read-modify-write (lwarx/stwcx-style); used by lock models.
+    RMW = 2
+    #: Pure time synchronisation: no memory traffic, just publishes the
+    #: frontend's execution-time so interleaving stays fine-grained across
+    #: long computation stretches, and gives the engine an interrupt-poll
+    #: point (the paper polls at memory/branch instructions).
+    ADVANCE = 3
+    #: Acquire a simulated lock (arg = lock id). May block the entity.
+    LOCK = 4
+    #: Release a simulated lock (arg = lock id).
+    UNLOCK = 5
+    #: Barrier arrival (arg = (barrier id, participant count)).
+    BARRIER = 6
+    #: OS call: ``arg`` is ``(name, args_tuple)``. Routed to the OS server
+    #: (category 1) or handled directly in the backend (category 2).
+    SYSCALL = 7
+    #: Frontend announces termination (sent before the coroutine returns,
+    #: mirroring the EXIT message that unpairs the OS thread).
+    EXIT = 8
+
+
+#: Kinds that reference simulated memory.
+MEMORY_KINDS = frozenset({EvKind.READ, EvKind.WRITE, EvKind.RMW})
+
+#: Kinds that the communicator forwards straight to the memory system.
+_KIND_NAMES = {k.value: k.name for k in EvKind}
+
+
+class Event:
+    """One frontend→backend message.
+
+    Attributes
+    ----------
+    kind:
+        An :class:`EvKind` value (stored as a plain int for speed).
+    addr, size:
+        Virtual address and byte size for memory kinds; 0 otherwise.
+    arg:
+        Kind-specific payload (lock id, barrier tuple, syscall tuple).
+    time:
+        The issuing entity's execution-time (cycles) when the event was
+        generated; filled in by the engine from the entity clock, exactly as
+        the instrumentation fills the cycle field in the paper.
+    pid:
+        Simulated process id of the issuer (filled in by the engine).
+    kernel:
+        True when the reference was generated in kernel mode (by OS-server
+        code); such references translate through the kernel address space.
+    """
+
+    __slots__ = ("kind", "addr", "size", "arg", "time", "pid", "kernel", "mode")
+
+    def __init__(
+        self,
+        kind: int,
+        addr: int = 0,
+        size: int = 0,
+        arg: Any = None,
+    ) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.arg = arg
+        self.time = 0
+        self.pid = -1
+        self.kernel = False
+        #: charge bucket of the generating code: "user"|"kernel"|"interrupt"
+        self.mode = "user"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = _KIND_NAMES.get(self.kind, str(self.kind))
+        return (
+            f"Event({name}, addr={self.addr:#x}, size={self.size}, "
+            f"arg={self.arg!r}, t={self.time}, pid={self.pid}, "
+            f"{'kernel' if self.kernel else 'user'})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Constructors (cheap factory helpers used by Proc / the interpreter)
+# ---------------------------------------------------------------------------
+
+def read(addr: int, size: int = 4) -> Event:
+    """A data-load event."""
+    return Event(EvKind.READ, addr, size)
+
+
+def write(addr: int, size: int = 4) -> Event:
+    """A data-store event."""
+    return Event(EvKind.WRITE, addr, size)
+
+
+def rmw(addr: int, size: int = 4) -> Event:
+    """An atomic read-modify-write event."""
+    return Event(EvKind.RMW, addr, size)
+
+
+def advance() -> Event:
+    """A pure time-publication event."""
+    return Event(EvKind.ADVANCE)
+
+
+def lock(lock_id: int) -> Event:
+    """A lock-acquire event."""
+    return Event(EvKind.LOCK, arg=lock_id)
+
+
+def unlock(lock_id: int) -> Event:
+    """A lock-release event."""
+    return Event(EvKind.UNLOCK, arg=lock_id)
+
+
+def barrier(barrier_id: int, count: int) -> Event:
+    """A barrier-arrival event for a barrier of ``count`` participants."""
+    return Event(EvKind.BARRIER, arg=(barrier_id, count))
+
+
+def syscall(name: str, *args: Any) -> Event:
+    """An OS-call event (name + positional arguments)."""
+    return Event(EvKind.SYSCALL, arg=(name, args))
+
+
+def exit_event(status: int = 0) -> Event:
+    """A process-exit announcement."""
+    return Event(EvKind.EXIT, arg=status)
+
+
+class SyscallResult:
+    """Reply delivered to a frontend for a SYSCALL event.
+
+    ``value`` is the return value; ``errno`` is 0 on success or a simulated
+    errno. ``data`` optionally carries out-of-band payloads (e.g. bytes read)
+    so syscall models can return rich results without extra round trips.
+    """
+
+    __slots__ = ("value", "errno", "data")
+
+    def __init__(self, value: Any = 0, errno: int = 0, data: Any = None) -> None:
+        self.value = value
+        self.errno = errno
+        self.data = data
+
+    @property
+    def ok(self) -> bool:
+        """True when the call succeeded (errno == 0)."""
+        return self.errno == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyscallResult(value={self.value!r}, errno={self.errno})"
+
+
+# Simulated errno values (AIX-flavoured subset).
+EPERM = 1
+ENOENT = 2
+EINTR = 4
+EIO = 5
+EBADF = 9
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EEXIST = 17
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOSPC = 28
+EPIPE = 32
+ENOSYS = 38
+ENOTCONN = 57
+EADDRINUSE = 67
+ECONNREFUSED = 79
+ETIMEDOUT = 78
+
+ERRNO_NAMES = {
+    EPERM: "EPERM", ENOENT: "ENOENT", EINTR: "EINTR", EIO: "EIO",
+    EBADF: "EBADF", EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EACCES: "EACCES",
+    EFAULT: "EFAULT", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR",
+    EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOSPC: "ENOSPC",
+    EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTCONN: "ENOTCONN",
+    EADDRINUSE: "EADDRINUSE", ECONNREFUSED: "ECONNREFUSED",
+    ETIMEDOUT: "ETIMEDOUT",
+}

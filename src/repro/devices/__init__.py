@@ -1,0 +1,9 @@
+"""Physical device models (paper §3.4): the real-time clock, hard disk
+drives and the Ethernet NIC. Devices complete work through the global event
+scheduler and raise interrupts through the interrupt controller."""
+
+from .clock import IntervalTimer
+from .disk import Disk, DiskRequest
+from .ethernet import EthernetNic, Frame
+
+__all__ = ["IntervalTimer", "Disk", "DiskRequest", "EthernetNic", "Frame"]

@@ -1,0 +1,65 @@
+"""User-vs-OS time decomposition (the paper's Table 1).
+
+The paper reports "user and OS times as a percentage of the total CPU time
+which excludes wait time due to disk IO", with OS time split into interrupt
+handlers and kernel (syscall) time. :func:`profile_row` produces that row
+from a finished run's statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One Table 1 row."""
+
+    benchmark: str
+    user_pct: float
+    os_pct: float
+    interrupt_pct: float
+    kernel_pct: float
+    busy_cycles: int
+    idle_cycles: int
+
+    def as_tuple(self) -> Tuple[str, str, str, str, str]:
+        return (self.benchmark,
+                f"{self.user_pct:.1f}%",
+                f"{self.os_pct:.1f}%",
+                f"{self.interrupt_pct:.1f}%",
+                f"{self.kernel_pct:.1f}%")
+
+
+def profile_row(name: str, stats: StatsRegistry) -> ProfileRow:
+    """Build the Table 1 row for a finished run.
+
+    Context-switch cycles are folded into kernel time (the dispatcher is
+    kernel code); idle (I/O wait) is excluded, as in the paper.
+    """
+    agg = stats.total_cpu()
+    busy = agg.busy
+    if busy == 0:
+        return ProfileRow(name, 0.0, 0.0, 0.0, 0.0, 0, agg.idle)
+    kernel = agg.kernel + agg.ctx_switch
+    return ProfileRow(
+        benchmark=name,
+        user_pct=100.0 * agg.user / busy,
+        os_pct=100.0 * (kernel + agg.interrupt) / busy,
+        interrupt_pct=100.0 * agg.interrupt / busy,
+        kernel_pct=100.0 * kernel / busy,
+        busy_cycles=busy,
+        idle_cycles=agg.idle,
+    )
+
+
+def top_oscall_table(stats: StatsRegistry, n: int = 8) -> List[Tuple[str, float, int]]:
+    """The "significant OS calls" list: (name, % of kernel cycles, count)."""
+    total_kernel = stats.total_cpu().kernel
+    if total_kernel == 0:
+        return []
+    return [(name, 100.0 * cyc / total_kernel, cnt)
+            for name, cyc, cnt in stats.top_syscalls(n)]

@@ -1,0 +1,28 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table (the shape the paper's tables print)."""
+    srows: List[List[str]] = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(c))
+            else:
+                widths.append(len(c))
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt(list(headers)))
+    out.append(sep)
+    out.extend(fmt(r) for r in srows)
+    return "\n".join(out)

@@ -1,0 +1,18 @@
+"""Host-parallel execution (paper §1 / Table 3).
+
+"On an SMP system, however, the backend process and a frontend process can
+run on two different processors, and sending an event from the frontend to
+the backend will not cause a context switch. This significantly reduces the
+simulation overhead."
+
+:class:`~repro.host.parallel.ParallelEngine` runs ISA-interpreter frontends
+as real OS processes: each worker interprets its program ahead of the
+backend, streaming memory events through a pipe (fire-and-forget — replies
+only matter for control events), while the backend consumes the queues in
+conservative global-time order. Simulated results are identical to inline
+mode; only host wall-clock changes.
+"""
+
+from .parallel import ParallelEngine, WorkerSpec
+
+__all__ = ["ParallelEngine", "WorkerSpec"]

@@ -1,0 +1,382 @@
+"""Frontends as real host processes (the Table 3 experiment).
+
+Protocol
+--------
+A worker process interprets its ISA program and streams events to the
+backend over a pipe:
+
+* memory/advance events are **fire-and-forget** — the interpreter's control
+  flow never depends on a reference's latency, so the worker keeps running
+  while the backend times the reference (this is the shared-memory implicit
+  communication of the paper's communicator);
+* control events (OS calls, lock/unlock/barrier, EXIT) **block** the worker
+  until the backend replies, because the result feeds back into execution;
+* events carry the pending-cycle delta accumulated since the previous event,
+  so the backend can stamp exact execution times in order.
+
+Conservative ordering
+---------------------
+The backend may only process the globally-earliest event. A worker whose
+queue is empty might still produce an earlier event, but never earlier than
+its current virtual time — that lower bound tells the backend when it is
+safe to proceed and when it must wait for a pipe (the same reasoning the
+COMPASS communicator applies while scanning event ports). With the same
+timestamps and the same pid tie-break as inline mode, parallel runs produce
+bit-identical simulated results.
+
+Limitation: workers own their functional memory privately, so programs whose
+*values* must be shared across processes need inline mode; timing-level
+sharing (locks, coherence, placement) works fully.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections import deque
+from multiprocessing.connection import Connection, wait as conn_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import events as ev
+from ..core.engine import Engine
+from ..core.errors import HostError
+from ..core.frontend import ProcState, SimProcess
+from ..core.stats import StatsRegistry
+from ..isa.assembler import assemble
+from ..isa.interpreter import Interpreter, Machine
+from ..isa.memory import DataMemory
+
+#: sentinel yielded by the proxy while its worker computes ahead
+COMPUTING = object()
+#: worker-side batch size for fire-and-forget events
+BATCH = 64
+
+
+class WorkerSpec:
+    """What a worker process runs: program text + data segments."""
+
+    def __init__(self, name: str, program_text: str,
+                 segments: Sequence[Tuple[int, int]] = ((0x10_0000, 1 << 22),),
+                 regs: Optional[Dict[int, int]] = None) -> None:
+        self.name = name
+        self.program_text = program_text
+        self.segments = list(segments)
+        self.regs = dict(regs or {})
+
+
+def _encode_reply(reply) -> tuple:
+    if isinstance(reply, ev.SyscallResult):
+        return ("sr", reply.value, reply.errno, reply.data)
+    return ("i", reply if reply is not None else 0)
+
+
+def _decode_reply(msg) -> object:
+    if msg[0] == "sr":
+        return ev.SyscallResult(msg[1], msg[2], msg[3])
+    return msg[1]
+
+
+def _worker_main(conn: Connection, spec_name: str, program_text: str,
+                 segments: list, regs: dict,
+                 cpu_affinity: Optional[frozenset] = None) -> None:
+    """Child-process body: interpret and stream events."""
+    if cpu_affinity:
+        try:
+            os.sched_setaffinity(0, cpu_affinity)
+        except (AttributeError, OSError):
+            pass
+    prog = assemble(program_text, spec_name)
+    dm = DataMemory(spec_name)
+    for base, size in segments:
+        dm.map_segment(base, size)
+    m = Machine(dm)
+    for r, v in regs.items():
+        m.regs[r] = v
+    gen = Interpreter(prog, m).run()
+    batch: list = []
+
+    def flush() -> None:
+        if batch:
+            conn.send(("b", list(batch)))
+            batch.clear()
+
+    try:
+        reply = None
+        evt = next(gen)
+        while True:
+            delta = m.pending
+            m.pending = 0
+            if evt.kind <= ev.EvKind.ADVANCE:   # memory / advance
+                batch.append((evt.kind, evt.addr, evt.size, delta))
+                if len(batch) >= BATCH:
+                    flush()
+                reply = 0
+            else:
+                flush()
+                conn.send(("c", evt.kind, evt.addr, evt.size, evt.arg, delta))
+                reply = _decode_reply(conn.recv())
+            evt = gen.send(reply)
+    except StopIteration as si:
+        flush()
+        status = si.value if isinstance(si.value, int) else 0
+        conn.send(("exit", status, m.pending))
+    except (EOFError, BrokenPipeError):
+        pass
+    finally:
+        conn.close()
+
+
+class _Worker:
+    """Backend-side handle for one worker process."""
+
+    __slots__ = ("spec", "proc", "conn", "process", "queue", "computing",
+                 "alive")
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.proc: Optional[SimProcess] = None
+        self.conn: Optional[Connection] = None
+        self.process: Optional[mp.Process] = None
+        #: decoded event messages waiting to be replayed into the proxy
+        self.queue: deque = deque()
+        self.computing = True
+        self.alive = True
+
+
+class ParallelEngine(Engine):
+    """Engine whose frontends are real host processes."""
+
+    def __init__(self, cfg, stats: Optional[StatsRegistry] = None,
+                 host_cpus: Optional[int] = None) -> None:
+        """``host_cpus`` restricts the whole simulator (backend + workers)
+        to the first N host CPUs — the knob behind the paper's Table 3
+        uniprocessor-vs-SMP comparison."""
+        super().__init__(cfg, stats)
+        self._workers: Dict[int, _Worker] = {}
+        self._ctx = mp.get_context("fork")
+        self._affinity: Optional[frozenset] = None
+        if host_cpus is not None:
+            avail = sorted(os.sched_getaffinity(0))
+            self._affinity = frozenset(avail[:max(1, host_cpus)])
+            try:
+                os.sched_setaffinity(0, self._affinity)
+            except OSError:
+                pass
+
+    # -- spawning ------------------------------------------------------------
+
+    def spawn_worker(self, spec: WorkerSpec) -> SimProcess:
+        """Launch a worker process and register its frontend."""
+        w = _Worker(spec)
+        parent, child = self._ctx.Pipe()
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(child, spec.name, spec.program_text, spec.segments,
+                  spec.regs, self._affinity),
+            daemon=True)
+        p.start()
+        child.close()
+        w.conn = parent
+        w.process = p
+        proc = self.spawn(spec.name, lambda _api, w=w: self._proxy(w))
+        w.proc = proc
+        self._workers[proc.pid] = w
+        return proc
+
+    def _proxy(self, w: _Worker):
+        """Engine-side base frame replaying the worker's event stream."""
+        clock = None
+        while True:
+            while not w.queue:
+                # park until the harvest loop refills the queue; the sentinel
+                # rides in an ADVANCE event so the base stepper can stamp it
+                yield ev.Event(ev.EvKind.ADVANCE, 0, 0, COMPUTING)
+            msg = w.queue.popleft()
+            tag = msg[0]
+            if tag == "exit":
+                if clock is None:
+                    clock = w.proc.clock
+                clock.pending += msg[2]
+                w.alive = False
+                return msg[1]
+            if clock is None:
+                clock = w.proc.clock
+            if tag == "m":
+                kind, addr, size, delta = msg[1], msg[2], msg[3], msg[4]
+                clock.pending += delta
+                yield ev.Event(kind, addr, size)
+            else:   # control
+                kind, addr, size, arg, delta = (msg[1], msg[2], msg[3],
+                                                msg[4], msg[5])
+                clock.pending += delta
+                reply = yield ev.Event(kind, addr, size, arg)
+                try:
+                    w.conn.send(_encode_reply(reply))
+                except (BrokenPipeError, OSError) as exc:
+                    raise HostError(f"worker {w.spec.name} died") from exc
+
+    # -- harvest -------------------------------------------------------------
+
+    def _harvest(self, block_on: Optional[List[_Worker]] = None) -> None:
+        """Drain worker pipes into queues; optionally block until at least
+        one of ``block_on`` delivers. Re-steps proxies that were computing."""
+        conns = {w.conn: w for w in self._workers.values()
+                 if w.alive and w.conn is not None}
+        if not conns:
+            return
+        if block_on:
+            ready = conn_wait([w.conn for w in block_on if w.alive])
+        else:
+            ready = conn_wait(list(conns.keys()), timeout=0)
+        for c in ready:
+            w = conns.get(c)
+            if w is None:
+                continue
+            try:
+                while c.poll():
+                    msg = c.recv()
+                    if msg[0] == "b":
+                        for kind, addr, size, delta in msg[1]:
+                            w.queue.append(("m", kind, addr, size, delta))
+                    else:
+                        w.queue.append(msg)
+            except (EOFError, OSError):
+                w.alive = False
+        # resume proxies that were starved and now have input
+        for w in self._workers.values():
+            p = w.proc
+            if (p is not None and w.queue and p.port_event is None
+                    and p.state == ProcState.RUNNING and p.reply is None
+                    and not p.kernel_mode):
+                self._step(p)
+
+    # -- stepping override -----------------------------------------------------
+
+    def _step(self, proc: SimProcess) -> None:
+        super()._step(proc)
+        # a proxy that yielded COMPUTING parks with no port event; the
+        # harvest loop re-steps it when its queue refills
+        e = proc.port_event
+        if e is not None and e.arg is COMPUTING:
+            proc.port_event = None
+
+    # -- the run loop with the safety condition ---------------------------------
+
+    def _unsafe_workers(self, horizon: int, pid: int) -> List[_Worker]:
+        """Workers that might still produce an event ordered before
+        (horizon, pid): computing, alive, with an empty queue, and a virtual
+        time at or before the horizon."""
+        out = []
+        for w in self._workers.values():
+            p = w.proc
+            if (w.alive and p is not None and p.state == ProcState.RUNNING
+                    and p.port_event is None and not w.queue
+                    and not p.kernel_mode and p.reply is None):
+                lb = p.vtime + p.clock.pending
+                if lb < horizon or (lb == horizon and p.pid < pid):
+                    out.append(w)
+        return out
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> StatsRegistry:
+        """Conservative parallel run loop."""
+        import time as _wall
+        if not self._timer_started:
+            self.timer.start()
+            self._timer_started = True
+        t0 = _wall.perf_counter()
+        budget = max_events if max_events is not None else (1 << 62)
+        since_harvest = 0
+        while budget > 0:
+            if self._live <= 0:
+                break
+            # pipes only need draining when a worker is starved (the unsafe
+            # check below catches the ones that matter for ordering) or
+            # periodically to keep OS pipe buffers from filling
+            since_harvest += 1
+            if since_harvest >= 512:
+                since_harvest = 0
+                self._harvest()
+            t_task = self.gsched.next_time()
+            cand = self.comm.select()
+            if cand is None and t_task is None:
+                self._harvest()
+                if self.comm.select() is not None:
+                    continue
+                waiters = self._unsafe_workers(1 << 62, 1 << 30)
+                if not waiters:
+                    self._report_deadlock(self.comm.live_processes())
+                self._harvest(block_on=waiters)
+                continue
+            horizon = cand.port_event.time if cand is not None else t_task
+            pid = cand.pid if cand is not None else (1 << 30)
+            if t_task is not None and (cand is None or t_task <= horizon):
+                horizon, pid = t_task, -1
+            unsafe = self._unsafe_workers(horizon, pid)
+            if unsafe:
+                self._harvest(block_on=unsafe)
+                continue
+            if cand is None or (t_task is not None
+                                and t_task <= cand.port_event.time):
+                if until is not None and t_task > until:
+                    break
+                task = self.gsched.pop_due(t_task)
+                self.gsched.run_task(task)
+                if (cand is None
+                        and self.comm.next_event_time() is None
+                        and not self._unsafe_workers(1 << 62, 1 << 30)
+                        and self.gsched.now - self._last_progress
+                        > self._deadlock_window):
+                    live = self.comm.live_processes()
+                    if not any(p.state == ProcState.BLOCKED for p in live):
+                        self._report_deadlock(live)
+                    self._last_progress = self.gsched.now
+                continue
+            if until is not None and cand.port_event.time > until:
+                break
+            event = cand.port_event
+            cand.port_event = None
+            self.gsched.advance_to(event.time)
+            self.events_processed += 1
+            self._last_progress = event.time
+            budget -= 1
+            self._handle_event(cand, event)
+        self.timer.stop()
+        self.stats.end_cycle = self.gsched.now
+        self.stats.host_seconds += _wall.perf_counter() - t0
+        self._account_trailing_idle()
+        return self.stats
+
+    # -- cleanup ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Terminate worker processes and restore CPU affinity
+        (idempotent)."""
+        if self._affinity is not None:
+            try:
+                os.sched_setaffinity(0, os.sched_getaffinity(os.getppid()))
+            except (OSError, AttributeError):
+                try:
+                    import multiprocessing as _mp
+                    os.sched_setaffinity(
+                        0, set(range(_mp.cpu_count())))
+                except OSError:
+                    pass
+            self._affinity = None
+        for w in self._workers.values():
+            if w.process is not None and w.process.is_alive():
+                w.process.terminate()
+            if w.conn is not None:
+                try:
+                    w.conn.close()
+                except OSError:
+                    pass
+        for w in self._workers.values():
+            if w.process is not None:
+                w.process.join(timeout=2)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,25 @@
+"""The instrumentor (paper §2 and §4).
+
+COMPASS builds frontends by running application assembly through an
+instrumentation program that inserts timing updates at basic-block ends and
+event generation at memory references, replaces OS calls with COMPASS stubs,
+and supports a Simulation ON/OFF switch plus per-region event suppression
+(signal handlers, static constructors).
+
+For ISA programs the timing/event insertion is performed by
+:func:`instrument_program`; region exclusion wraps blocks in SIMOFF/SIMON;
+:func:`rename_oscalls` is the §4 step-3 stub renaming. :func:`report` gives
+the static instrumentation summary (what the paper's binary-size-growth
+discussion is about).
+"""
+
+from .passes import (InstrumentationReport, exclude_regions,
+                     instrument_program, rename_oscalls, report)
+
+__all__ = [
+    "InstrumentationReport",
+    "instrument_program",
+    "exclude_regions",
+    "rename_oscalls",
+    "report",
+]

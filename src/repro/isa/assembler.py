@@ -1,0 +1,135 @@
+"""A tiny textual assembler for the virtual ISA.
+
+Keeps test kernels and example programs readable::
+
+    assemble('''
+        li   r1, 0          ; i = 0
+        li   r2, 1024       ; n
+    loop:
+        loadx r3, r10, r1, 4
+        addi r3, r3, 1
+        storex r3, r10, r1, 4
+        addi r1, r1, 4
+        blt  r1, r2, loop
+        halt
+    ''')
+
+Rules: one instruction per line; ``name:`` starts a new basic block;
+``;``/``#`` begin comments; registers are ``rN``; everything else numeric is
+an immediate (0x hex accepted); branch targets are label names. Blocks are
+also split *after* any control-transfer instruction (auto-labeled), so basic
+blocks are genuine basic blocks.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..core.errors import InstrumentationError
+from .instructions import BLOCK_ENDERS, Instr, Op
+from .program import BasicBlock, Program
+
+_REG = re.compile(r"^r(\d+)$")
+
+#: ops whose final textual operand is a label
+_LABEL_OPS = {
+    "b": Op.B, "bl": Op.BL,
+    "beq": Op.BEQ, "bne": Op.BNE, "blt": Op.BLT, "bge": Op.BGE,
+    "bnz": Op.BNZ, "bz": Op.BZ,
+}
+
+_PLAIN_OPS = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "div": Op.DIV,
+    "and": Op.AND, "or": Op.OR, "xor": Op.XOR, "shl": Op.SHL,
+    "shr": Op.SHR, "addi": Op.ADDI, "muli": Op.MULI, "andi": Op.ANDI,
+    "li": Op.LI, "mov": Op.MOV, "cmp": Op.CMP, "mod": Op.MOD,
+    "fadd": Op.FADD, "fsub": Op.FSUB, "fmul": Op.FMUL, "fdiv": Op.FDIV,
+    "fma": Op.FMA,
+    "load": Op.LOAD, "store": Op.STORE, "loadx": Op.LOADX,
+    "storex": Op.STOREX, "lwarx": Op.LWARX, "stwcx": Op.STWCX,
+    "lock": Op.LOCK, "unlock": Op.UNLOCK, "barrier": Op.BARRIER,
+    "ret": Op.RET, "halt": Op.HALT, "nop": Op.NOP,
+    "simon": Op.SIMON, "simoff": Op.SIMOFF,
+}
+
+
+def _operand(tok: str) -> object:
+    """Parse one operand token: register index or immediate."""
+    m = _REG.match(tok)
+    if m:
+        idx = int(m.group(1))
+        if idx >= 32:
+            raise InstrumentationError(f"register out of range: {tok}")
+        return idx
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise InstrumentationError(f"bad operand {tok!r}") from None
+
+
+def assemble(text: str, name: str = "a.out") -> Program:
+    """Assemble ``text`` into a resolved :class:`Program`."""
+    prog = Program(name)
+    current: Optional[BasicBlock] = None
+    auto = 0
+
+    def fresh_block(label: Optional[str] = None) -> BasicBlock:
+        nonlocal auto, current
+        if label is None:
+            label = f".L{auto}"
+            auto += 1
+        current = BasicBlock(label)
+        prog.add_block(current)
+        return current
+
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+        # labels (allow `label: instr` on one line)
+        while True:
+            m = re.match(r"^([A-Za-z_.][\w.]*):\s*(.*)$", line)
+            if not m:
+                break
+            fresh_block(m.group(1))
+            line = m.group(2).strip()
+        if not line:
+            continue
+
+        parts = line.replace(",", " ").split()
+        mnem = parts[0].lower()
+        toks = parts[1:]
+
+        try:
+            if mnem in _LABEL_OPS:
+                op = _LABEL_OPS[mnem]
+                label = toks[-1]
+                regs = [_operand(t) for t in toks[:-1]]
+                ins = Instr(op, *regs, label=label)
+            elif mnem == "syscall":
+                # syscall name [, nargs]
+                sname = toks[0]
+                nargs = int(toks[1], 0) if len(toks) > 1 else 0
+                ins = Instr(Op.SYSCALL, sname, nargs)
+            elif mnem in _PLAIN_OPS:
+                ops = [_operand(t) for t in toks]
+                ins = Instr(_PLAIN_OPS[mnem], *ops)
+            else:
+                raise InstrumentationError(f"unknown mnemonic {mnem!r}")
+        except InstrumentationError:
+            raise
+        except Exception as exc:
+            raise InstrumentationError(
+                f"{name}:{lineno}: cannot assemble {raw.strip()!r}: {exc}"
+            ) from exc
+
+        if current is None:
+            fresh_block("__start" if not prog.blocks else None)
+        current.append(ins)
+        if ins.op in BLOCK_ENDERS:
+            current = None   # next instruction opens a fresh block
+
+    if not prog.blocks:
+        raise InstrumentationError(f"empty program {name!r}")
+    return prog.resolve()

@@ -1,0 +1,117 @@
+"""Instruction definitions for the virtual ISA.
+
+A deliberately small RISC instruction set, enough to express the SPLASH-style
+kernels and synthetic OS service routines that exercise the simulator. Each
+instruction is a compact tuple-like object; operands are register indices,
+immediates, or label names (resolved by the assembler).
+
+Register model: 32 general-purpose registers ``r0``–``r31`` holding Python
+numbers (so integer and floating point share the file; the *timing* table
+distinguishes integer and FP opcodes, which is all the backend cares about).
+``r0`` is writable (unlike real PowerPC) to keep programs simple.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Any, Optional, Tuple
+
+
+class Op(IntEnum):
+    """Opcodes. Grouped by functional unit for the timing table."""
+
+    # integer ALU
+    ADD = 0        # rd, ra, rb
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    AND = 4
+    OR = 5
+    XOR = 6
+    SHL = 7
+    SHR = 8
+    ADDI = 9       # rd, ra, imm
+    MULI = 10
+    ANDI = 11
+    LI = 12        # rd, imm
+    MOV = 13       # rd, ra
+    CMP = 14       # rd, ra, rb  (rd = -1/0/1)
+    MOD = 15       # rd, ra, rb
+
+    # floating point
+    FADD = 20
+    FSUB = 21
+    FMUL = 22
+    FDIV = 23
+    FMA = 24       # rd, ra, rb (rd += ra*rb)
+
+    # memory (addresses are byte virtual addresses: [ra + imm])
+    LOAD = 30      # rd, ra, imm, size
+    STORE = 31     # rs, ra, imm, size
+    LOADX = 32     # rd, ra, rb  (indexed: [ra + rb]), size in d
+    STOREX = 33    # rs, ra, rb, size
+    LWARX = 34     # rd, ra     (load-reserve, atomic path)
+    STWCX = 35     # rs, ra     (store-conditional)
+
+    # control flow (targets are block labels)
+    B = 40         # label
+    BEQ = 41       # ra, rb, label
+    BNE = 42
+    BLT = 43
+    BGE = 44
+    BNZ = 45       # ra, label  (branch if ra != 0)
+    BZ = 46        # ra, label
+    BL = 47        # label      (call)
+    RET = 48
+
+    # synchronisation pseudo-instructions (become events)
+    LOCK = 50      # ra = lock id
+    UNLOCK = 51
+    BARRIER = 52   # ra = barrier id, rb = participant count
+
+    # system
+    SYSCALL = 60   # name, nargs popped from r3..r(3+n-1); result in r3
+    HALT = 61
+    NOP = 62
+    SIMON = 63     # instrumentation ON  (the paper's Simulation switch)
+    SIMOFF = 64    # instrumentation OFF
+
+
+#: Opcodes that reference simulated data memory.
+MEM_OPS = frozenset({Op.LOAD, Op.STORE, Op.LOADX, Op.STOREX, Op.LWARX, Op.STWCX})
+
+#: Opcodes that terminate a basic block.
+BLOCK_ENDERS = frozenset({
+    Op.B, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BNZ, Op.BZ, Op.BL, Op.RET,
+    Op.HALT, Op.SYSCALL,
+})
+
+
+class Instr:
+    """One decoded instruction: opcode plus up to four operands.
+
+    Operand meaning depends on the opcode (see :class:`Op` comments).
+    ``label`` holds an unresolved branch target name until the assembler
+    resolves it to a block index stored in ``a`` (or ``c`` for compare
+    branches).
+    """
+
+    __slots__ = ("op", "a", "b", "c", "d", "label")
+
+    def __init__(self, op: Op, a: Any = 0, b: Any = 0, c: Any = 0,
+                 d: Any = 0, label: Optional[str] = None) -> None:
+        self.op = op
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+        self.label = label
+
+    def is_mem(self) -> bool:
+        """True when this instruction references data memory."""
+        return self.op in MEM_OPS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ops = [x for x in (self.a, self.b, self.c, self.d) if x != 0] or [0]
+        lbl = f" ->{self.label}" if self.label else ""
+        return f"{Op(self.op).name} {ops}{lbl}"

@@ -1,0 +1,84 @@
+"""Frontend-side functional data memory for ISA programs.
+
+In COMPASS the *frontend* executes instructions natively, so data values live
+in the frontend process; the backend only ever sees addresses and sizes. This
+module is the equivalent for interpreted programs: a segment-mapped
+functional store. Shared-memory segments attach the *same* backing store into
+several processes' memories (the shmat model), so interleaved simulated
+processes really observe each other's writes.
+
+Functional values are stored address-exact (the value written at address A is
+returned by a load of address A); overlapping partial-word aliasing is not
+modeled, which is sufficient for the synthetic kernels and keeps the hot path
+a single dict access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import MemoryError_
+
+
+class SegmentStore:
+    """Backing store for one segment; shareable between address spaces."""
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data: Dict[int, object] = {}
+
+
+class DataMemory:
+    """A per-process functional address space built from segments."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        # sorted list of (base, size, store, offset_key)
+        self._segs: List[Tuple[int, int, SegmentStore]] = []
+
+    def map_segment(self, base: int, size: int,
+                    store: Optional[SegmentStore] = None) -> SegmentStore:
+        """Map ``size`` bytes at ``base``; pass an existing ``store`` to share
+        it (shared memory attach). Returns the backing store."""
+        if size <= 0:
+            raise MemoryError_(f"segment size must be positive, got {size}")
+        for b, s, _ in self._segs:
+            if base < b + s and b < base + size:
+                raise MemoryError_(
+                    f"segment [{base:#x},{base + size:#x}) overlaps "
+                    f"[{b:#x},{b + s:#x})"
+                )
+        if store is None:
+            store = SegmentStore()
+        self._segs.append((base, size, store))
+        self._segs.sort()
+        return store
+
+    def unmap_segment(self, base: int) -> None:
+        """Remove the segment starting at ``base``."""
+        for i, (b, _s, _st) in enumerate(self._segs):
+            if b == base:
+                del self._segs[i]
+                return
+        raise MemoryError_(f"no segment at {base:#x}")
+
+    def _find(self, addr: int) -> Tuple[int, SegmentStore]:
+        for b, s, st in self._segs:
+            if b <= addr < b + s:
+                return b, st
+        raise MemoryError_(f"{self.name}: unmapped address {addr:#x}")
+
+    def load(self, addr: int, size: int = 4) -> object:
+        """Functional load; unwritten locations read as 0."""
+        b, st = self._find(addr)
+        return st.data.get(addr - b, 0)
+
+    def store(self, addr: int, value: object, size: int = 4) -> None:
+        """Functional store."""
+        b, st = self._find(addr)
+        st.data[addr - b] = value
+
+    def segments(self) -> List[Tuple[int, int]]:
+        """(base, size) of every mapped segment."""
+        return [(b, s) for b, s, _ in self._segs]

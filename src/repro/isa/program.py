@@ -1,0 +1,114 @@
+"""Programs and basic blocks.
+
+A :class:`Program` is an ordered list of :class:`BasicBlock`; each block is a
+straight-line instruction sequence ending (implicitly or explicitly) in a
+control transfer. The instrumentor (:mod:`repro.instrument`) annotates each
+block with its static cycle cost — the code COMPASS inserts "at the end of
+each basic block" — and marks memory instructions as event sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.errors import InstrumentationError
+from .instructions import BLOCK_ENDERS, Instr, Op
+from .timing import block_cost
+
+
+class BasicBlock:
+    """A labeled straight-line run of instructions.
+
+    Attributes
+    ----------
+    label: block name (branch target).
+    instrs: the instructions.
+    cost: static cycle cost, filled by :meth:`finalize` (instrumentation).
+    index: position within the owning program (set by Program).
+    """
+
+    __slots__ = ("label", "instrs", "cost", "index")
+
+    def __init__(self, label: str, instrs: Optional[List[Instr]] = None) -> None:
+        self.label = label
+        self.instrs: List[Instr] = instrs or []
+        self.cost = 0
+        self.index = -1
+
+    def append(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    def finalize(self) -> None:
+        """Compute the static block cost (the instrumentor's timing insert)."""
+        self.cost = block_cost(self.instrs)
+
+    def terminator(self) -> Optional[Instr]:
+        """The control-transfer instruction ending the block, if any."""
+        if self.instrs and self.instrs[-1].op in BLOCK_ENDERS:
+            return self.instrs[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BasicBlock({self.label!r}, {len(self.instrs)} instrs, cost={self.cost})"
+
+
+class Program:
+    """An executable unit: blocks, a label map, and an entry point."""
+
+    def __init__(self, name: str = "a.out") -> None:
+        self.name = name
+        self.blocks: List[BasicBlock] = []
+        self.labels: Dict[str, int] = {}
+        self.entry = 0
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Append a block, registering its label."""
+        if block.label in self.labels:
+            raise InstrumentationError(
+                f"duplicate label {block.label!r} in {self.name}"
+            )
+        block.index = len(self.blocks)
+        self.labels[block.label] = block.index
+        self.blocks.append(block)
+        return block
+
+    def resolve(self) -> "Program":
+        """Resolve symbolic branch targets to block indices and finalize
+        block costs. Must be called once before execution."""
+        for blk in self.blocks:
+            blk.finalize()
+            for ins in blk.instrs:
+                if ins.label is not None:
+                    target = self.labels.get(ins.label)
+                    if target is None:
+                        raise InstrumentationError(
+                            f"undefined label {ins.label!r} in {self.name}"
+                        )
+                    # branch target index lives in the last operand slot used
+                    # by that opcode's encoding: plain branches use .a,
+                    # compare-branches use .c
+                    if ins.op in (Op.B, Op.BL):
+                        ins.a = target
+                    elif ins.op in (Op.BNZ, Op.BZ):
+                        ins.b = target
+                    else:
+                        ins.c = target
+        return self
+
+    def block_of(self, label: str) -> BasicBlock:
+        """Look up a block by label."""
+        try:
+            return self.blocks[self.labels[label]]
+        except KeyError:
+            raise InstrumentationError(f"no block labeled {label!r}") from None
+
+    @property
+    def n_instrs(self) -> int:
+        """Total static instruction count."""
+        return sum(len(b) for b in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Program({self.name!r}, {len(self.blocks)} blocks, {self.n_instrs} instrs)"

@@ -1,0 +1,16 @@
+"""Backend memory system: address translation, caches, interconnect and
+coherence protocols. See DESIGN.md for the module map."""
+
+from .pagetable import Vmm, PhysMem, SharedSegment, KERNEL_BASE
+from .cache import Cache, LineState
+from .hierarchy import MemorySystem
+
+__all__ = [
+    "Vmm",
+    "PhysMem",
+    "SharedSegment",
+    "KERNEL_BASE",
+    "Cache",
+    "LineState",
+    "MemorySystem",
+]

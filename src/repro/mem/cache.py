@@ -1,0 +1,141 @@
+"""Set-associative cache model with MESI-compatible line states.
+
+Used for both L1 and L2 of the paper's backends. The hot path (lookup +
+LRU update) is a dict hit plus a small-list move-to-front; associativities
+are ≤ 16 so linear set scans beat fancier structures (see the HPC-guide
+notes in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import CacheConfig
+
+
+class LineState(IntEnum):
+    """MESI states (INVALID lines are simply absent)."""
+
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+class Cache:
+    """One cache: maps line address → state, LRU within each set."""
+
+    __slots__ = ("name", "cfg", "line_shift", "n_sets", "_sets", "_states",
+                 "hits", "misses", "evictions", "writebacks", "invalidations")
+
+    def __init__(self, name: str, cfg: CacheConfig) -> None:
+        cfg.validate()
+        self.name = name
+        self.cfg = cfg
+        self.line_shift = cfg.line_size.bit_length() - 1
+        self.n_sets = cfg.n_sets
+        #: per-set MRU-ordered list of line addresses (index 0 = MRU)
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        #: line address -> LineState
+        self._states: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    # -- address helpers -----------------------------------------------------
+
+    def line_of(self, paddr: int) -> int:
+        """Line address (paddr with offset bits stripped)."""
+        return paddr >> self.line_shift
+
+    def _set_of(self, line: int) -> int:
+        return line % self.n_sets
+
+    # -- operations ------------------------------------------------------------
+
+    def lookup(self, line: int, update_lru: bool = True) -> Optional[int]:
+        """State of ``line`` if present (MRU-promoted), else None."""
+        st = self._states.get(line)
+        if st is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if update_lru:
+            s = self._sets[self._set_of(line)]
+            if s[0] != line:
+                s.remove(line)
+                s.insert(0, line)
+        return st
+
+    def probe(self, line: int) -> Optional[int]:
+        """State without touching LRU or hit/miss counters (snoop path)."""
+        return self._states.get(line)
+
+    def insert(self, line: int, state: int) -> Optional[Tuple[int, int]]:
+        """Fill ``line`` with ``state``; returns the victim ``(line, state)``
+        when an eviction was needed (caller handles the writeback)."""
+        victim: Optional[Tuple[int, int]] = None
+        s = self._sets[self._set_of(line)]
+        if line in self._states:
+            # refill of a present line: just update state + LRU
+            self._states[line] = state
+            if s[0] != line:
+                s.remove(line)
+                s.insert(0, line)
+            return None
+        if len(s) >= self.cfg.assoc:
+            vline = s.pop()
+            vstate = self._states.pop(vline)
+            self.evictions += 1
+            if vstate == LineState.MODIFIED:
+                self.writebacks += 1
+            victim = (vline, vstate)
+        s.insert(0, line)
+        self._states[line] = state
+        return victim
+
+    def set_state(self, line: int, state: int) -> None:
+        """Change the state of a present line (upgrade/downgrade)."""
+        if line in self._states:
+            self._states[line] = state
+
+    def invalidate(self, line: int) -> Optional[int]:
+        """Drop ``line``; returns its prior state (None if absent)."""
+        st = self._states.pop(line, None)
+        if st is not None:
+            self._sets[self._set_of(line)].remove(line)
+            self.invalidations += 1
+        return st
+
+    def contains(self, line: int) -> bool:
+        return line in self._states
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return len(self._states)
+
+    def flush_dirty(self) -> List[int]:
+        """Return (and clean) every MODIFIED line — used by msync models."""
+        dirty = [l for l, s in self._states.items() if s == LineState.MODIFIED]
+        for l in dirty:
+            self._states[l] = LineState.SHARED
+        self.writebacks += len(dirty)
+        return dirty
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+        self.evictions = self.writebacks = self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        a = self.accesses
+        return self.misses / a if a else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Cache({self.name}, {self.cfg.size >> 10}KiB, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,49 @@
+"""Cache-coherence protocols for the backend architecture models.
+
+The paper's backend "simulates the target shared memory multiprocessor
+architecture including several levels of caches, memory buses, memory
+controllers, coherence controllers, network" (§2) and COMPASS was used to
+study "CC-NUMA, COMA and software DSM multiprocessors" (§5). Four protocols
+are provided behind one interface:
+
+* :class:`~repro.mem.coherence.private.PrivateProtocol` — no sharing model
+  (the simple backend);
+* :class:`~repro.mem.coherence.mesi.MesiBusProtocol` — snooping MESI on a
+  shared bus (SMP);
+* :class:`~repro.mem.coherence.directory.DirectoryProtocol` — full-map
+  directory CC-NUMA;
+* :class:`~repro.mem.coherence.coma.ComaProtocol` — attraction-memory COMA;
+* :class:`~repro.mem.coherence.dsm.DsmProtocol` — page-granular software DSM.
+"""
+
+from .base import CoherenceProtocol
+from .private import PrivateProtocol
+from .mesi import MesiBusProtocol
+from .directory import DirectoryProtocol
+from .coma import ComaProtocol
+from .dsm import DsmProtocol
+
+
+def make_protocol(name: str, **kw) -> CoherenceProtocol:
+    """Factory keyed by the config's ``coherence`` string."""
+    cls = {
+        "none": PrivateProtocol,
+        "mesi": MesiBusProtocol,
+        "directory": DirectoryProtocol,
+        "coma": ComaProtocol,
+        "dsm": DsmProtocol,
+    }.get(name)
+    if cls is None:
+        raise ValueError(f"unknown coherence protocol {name!r}")
+    return cls(**kw)
+
+
+__all__ = [
+    "CoherenceProtocol",
+    "PrivateProtocol",
+    "MesiBusProtocol",
+    "DirectoryProtocol",
+    "ComaProtocol",
+    "DsmProtocol",
+    "make_protocol",
+]

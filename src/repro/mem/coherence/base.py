@@ -1,0 +1,90 @@
+"""Shared machinery for coherence protocols.
+
+A protocol owns the *global* view of every cached line (who holds it, in what
+state) and the shared resources (bus / directories / network). The per-CPU
+cache arrays are installed once by the :class:`~repro.mem.hierarchy.
+MemorySystem`; protocols mutate peer caches directly on invalidations and
+interventions, which is what a snoop or a directory message does.
+
+Contract (all latencies in cycles, ``now`` is the global cycle):
+
+* ``read_miss(cpu, line, now) -> (latency, install_state)``
+* ``write_miss(cpu, line, now) -> (latency, install_state)`` — also used for
+  S→M upgrades (the line may be present SHARED in the requester)
+* ``writeback(cpu, line, now) -> latency`` — eviction of a MODIFIED line
+* ``forget(cpu, line)`` — eviction of a clean line (bookkeeping only)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...core.stats import Counter
+from ..cache import Cache, LineState
+
+
+class CoherenceProtocol:
+    """Base class; subclasses implement the four-message contract."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        #: outer-level (coherence-point) cache per CPU; set by attach()
+        self.caches: Sequence[Cache] = ()
+        #: inner (L1) cache per CPU, or None; invalidated alongside
+        self.l1s: Sequence[Optional[Cache]] = ()
+        #: cpu -> NUMA node
+        self.cpu_node: Sequence[int] = ()
+        #: paddr -> home node (installed by MemorySystem)
+        self.home_of: Callable[[int], int] = lambda paddr: 0
+        self.line_size = 32
+        self.counters: Dict[str, int] = {}
+
+    def attach(self, caches: Sequence[Cache], l1s: Sequence[Optional[Cache]],
+               cpu_node: Sequence[int], home_of: Callable[[int], int],
+               line_size: int) -> None:
+        """Wire the protocol to the hierarchy (called by MemorySystem)."""
+        self.caches = caches
+        self.l1s = l1s
+        self.cpu_node = cpu_node
+        self.home_of = home_of
+        self.line_size = line_size
+
+    # -- helpers ------------------------------------------------------------
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _drop_peer(self, cpu: int, line: int) -> Optional[int]:
+        """Invalidate ``line`` in peer ``cpu``'s caches; returns its prior
+        outer state (None when absent)."""
+        st = self.caches[cpu].invalidate(line)
+        l1 = self.l1s[cpu]
+        if l1 is not None:
+            l1.invalidate(line)
+        return st
+
+    def _downgrade_peer(self, cpu: int, line: int) -> None:
+        """Demote ``line`` to SHARED in peer ``cpu``'s caches."""
+        self.caches[cpu].set_state(line, LineState.SHARED)
+        l1 = self.l1s[cpu]
+        if l1 is not None:
+            l1.set_state(line, LineState.SHARED)
+
+    def line_paddr(self, line: int) -> int:
+        return line * self.line_size
+
+    # -- contract ---------------------------------------------------------
+
+    def read_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
+        raise NotImplementedError
+
+    def write_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
+        raise NotImplementedError
+
+    def writeback(self, cpu: int, line: int, now: int) -> int:
+        raise NotImplementedError
+
+    def forget(self, cpu: int, line: int) -> None:
+        """Clean eviction: default keeps no global state; overridden by
+        protocols that track sharers."""

@@ -1,0 +1,156 @@
+"""Full-map directory protocol for the CC-NUMA complex backend.
+
+Each line has a *home node* (where its physical frame lives); the home's
+directory tracks the sharer set and a dirty owner. Misses pay the classic
+2-hop (clean at home) or 3-hop (dirty in a third node) NUMA costs through the
+mesh network, plus directory-controller and DRAM occupancy at the home. This
+is the backend used for the paper's TPC-D NUMA studies ([14] in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..bus import OccupancyResource
+from ..cache import LineState
+from ..network import MeshNetwork
+from .base import CoherenceProtocol
+
+
+class _DirEntry:
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()   # cpu ids holding the line
+        self.owner = -1                  # cpu id with a MODIFIED copy
+
+
+class DirectoryProtocol(CoherenceProtocol):
+    """Full-map invalidate-based directory over a 2D mesh."""
+
+    name = "directory"
+
+    def __init__(self, dram_latency: int = 60, dir_latency: int = 10,
+                 hop_latency: int = 20, num_nodes: int = 2,
+                 data_flits: int = 2, **_ignored) -> None:
+        super().__init__()
+        self.dram_latency = dram_latency
+        self.num_nodes = num_nodes
+        self.network = MeshNetwork(num_nodes, hop_latency)
+        self.dirctl = [OccupancyResource(f"dir{n}", dir_latency)
+                       for n in range(num_nodes)]
+        self.data_flits = data_flits
+        self._dir: Dict[int, _DirEntry] = {}
+
+    def _entry(self, line: int) -> _DirEntry:
+        e = self._dir.get(line)
+        if e is None:
+            e = _DirEntry()
+            self._dir[line] = e
+        return e
+
+    def _home(self, line: int) -> int:
+        return self.home_of(self.line_paddr(line))
+
+    # -- contract ---------------------------------------------------------
+
+    def read_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
+        node = self.cpu_node[cpu]
+        home = self._home(line)
+        e = self._entry(line)
+        lat = self.network.transfer(node, home, now)          # request
+        lat += self.dirctl[home].occupy(now + lat)            # dir lookup
+        if e.owner >= 0 and e.owner != cpu:
+            onode = self.cpu_node[e.owner]
+            self.count("remote_dirty_3hop" if onode not in (node, home)
+                       else "remote_dirty")
+            lat += self.network.transfer(home, onode, now + lat)
+            self._downgrade_peer(e.owner, line)               # owner -> S
+            lat += self.network.transfer(onode, node, now + lat,
+                                         self.data_flits)
+            e.sharers.add(e.owner)
+            e.owner = -1
+            e.sharers.add(cpu)
+            return lat, LineState.SHARED
+        self.count("local_read" if home == node else "remote_read_2hop")
+        lat += self.dram_latency
+        lat += self.network.transfer(home, node, now + lat, self.data_flits)
+        if not e.sharers:
+            e.sharers.add(cpu)
+            return lat, LineState.EXCLUSIVE
+        # existing sharers may hold EXCLUSIVE: the directory downgrades them
+        # so no silent E->M upgrade can bypass it
+        for s_ in e.sharers:
+            if s_ != cpu:
+                self._downgrade_peer(s_, line)
+        e.sharers.add(cpu)
+        return lat, LineState.SHARED
+
+    def write_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
+        node = self.cpu_node[cpu]
+        home = self._home(line)
+        e = self._entry(line)
+        lat = self.network.transfer(node, home, now)
+        lat += self.dirctl[home].occupy(now + lat)
+        inval_lat = 0
+        if e.owner >= 0 and e.owner != cpu:
+            onode = self.cpu_node[e.owner]
+            self.count("ownership_transfer")
+            inval_lat = (self.network.transfer(home, onode, now + lat)
+                         + self.network.transfer(onode, node, now + lat,
+                                                 self.data_flits))
+            self._drop_peer(e.owner, line)
+        else:
+            # invalidate every sharer; acks gathered in parallel — pay the
+            # max distance, plus a constant per extra sharer for ack fan-in
+            worst = 0
+            extras = 0
+            for s in list(e.sharers):
+                if s == cpu:
+                    continue
+                snode = self.cpu_node[s]
+                d = (self.network.transfer(home, snode, now + lat)
+                     + self.network.transfer(snode, node, now + lat))
+                worst = max(worst, d)
+                extras += 1
+                self._drop_peer(s, line)
+                self.count("invalidation")
+            inval_lat = worst + 2 * max(0, extras - 1)
+            if self.caches[cpu].probe(line) is None:
+                lat += self.dram_latency
+                lat += self.network.transfer(home, node, now + lat,
+                                             self.data_flits)
+        e.sharers = {cpu}
+        e.owner = cpu
+        self.count("write_miss")
+        return lat + inval_lat, LineState.MODIFIED
+
+    def writeback(self, cpu: int, line: int, now: int) -> int:
+        node = self.cpu_node[cpu]
+        home = self._home(line)
+        self.count("writeback")
+        # buffered: network + home DRAM occupied, requester not stalled
+        self.network.transfer(node, home, now, self.data_flits)
+        self.dirctl[home].occupy(now)
+        e = self._dir.get(line)
+        if e is not None and e.owner == cpu:
+            e.owner = -1
+            e.sharers.discard(cpu)
+        return 0
+
+    def forget(self, cpu: int, line: int) -> None:
+        e = self._dir.get(line)
+        if e is not None:
+            e.sharers.discard(cpu)
+            if e.owner == cpu:
+                e.owner = -1
+
+    # -- introspection ------------------------------------------------------
+
+    def sharers_of(self, line: int) -> Set[int]:
+        e = self._dir.get(line)
+        return set(e.sharers) if e else set()
+
+    def owner_of(self, line: int) -> int:
+        e = self._dir.get(line)
+        return e.owner if e else -1

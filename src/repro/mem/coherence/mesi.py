@@ -1,0 +1,97 @@
+"""MESI snooping protocol on a shared bus (bus-based SMP backend).
+
+Every miss and upgrade is a bus transaction that all peer caches snoop.
+Cache-to-cache transfers service misses to dirty remote lines; upgrades
+(S→M) are address-only invalidations. The single bus is the contended
+resource, so OLTP-style sharing shows up as queueing delay — the first-order
+behaviour of the 4-way AIX SMPs profiled in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..bus import OccupancyResource
+from ..cache import LineState
+from .base import CoherenceProtocol
+
+
+class MesiBusProtocol(CoherenceProtocol):
+    """Snooping MESI over one shared split-transaction bus."""
+
+    name = "mesi"
+
+    def __init__(self, dram_latency: int = 60, bus_latency: int = 8,
+                 c2c_latency: int = 20, **_ignored) -> None:
+        super().__init__()
+        self.dram_latency = dram_latency
+        self.c2c_latency = c2c_latency
+        self.bus = OccupancyResource("bus", bus_latency)
+
+    # -- snoop helpers ------------------------------------------------------
+
+    def _snoop(self, requester: int, line: int):
+        """Peers holding ``line``: returns (dirty_holder, sharers)."""
+        dirty = -1
+        sharers = []
+        for c, cache in enumerate(self.caches):
+            if c == requester:
+                continue
+            st = cache.probe(line)
+            if st is None:
+                continue
+            if st == LineState.MODIFIED:
+                dirty = c
+            sharers.append(c)
+        return dirty, sharers
+
+    # -- contract -----------------------------------------------------------
+
+    def read_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
+        self.count("bus_read")
+        lat = self.bus.occupy(now)
+        dirty, sharers = self._snoop(cpu, line)
+        if dirty >= 0:
+            # intervention: dirty peer supplies the data and both end SHARED;
+            # memory is updated in the background
+            self.count("c2c_transfer")
+            self._downgrade_peer(dirty, line)
+            return lat + self.c2c_latency, LineState.SHARED
+        if sharers:
+            for s in sharers:
+                self._downgrade_peer(s, line)
+            return lat + self.dram_latency, LineState.SHARED
+        return lat + self.dram_latency, LineState.EXCLUSIVE
+
+    def write_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
+        dirty, sharers = self._snoop(cpu, line)
+        had_line = self.caches[cpu].probe(line) is not None
+        lat = self.bus.occupy(now)
+        if had_line and dirty < 0:
+            # S -> M upgrade: address-only bus transaction
+            self.count("bus_upgrade")
+            for s in sharers:
+                self._drop_peer(s, line)
+                self.count("invalidation")
+            return lat, LineState.MODIFIED
+        self.count("bus_read_exclusive")
+        extra = 0
+        if dirty >= 0:
+            self.count("c2c_transfer")
+            extra = self.c2c_latency
+            self._drop_peer(dirty, line)
+            self.count("invalidation")
+            for s in sharers:
+                if s != dirty:
+                    self._drop_peer(s, line)
+                    self.count("invalidation")
+            return lat + extra, LineState.MODIFIED
+        for s in sharers:
+            self._drop_peer(s, line)
+            self.count("invalidation")
+        return lat + self.dram_latency, LineState.MODIFIED
+
+    def writeback(self, cpu: int, line: int, now: int) -> int:
+        self.count("writeback")
+        self.bus.occupy(now)   # buffered: occupies the bus, no CPU stall
+        return 0

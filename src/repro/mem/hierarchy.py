@@ -1,0 +1,185 @@
+"""The backend memory system: translation + cache hierarchy + coherence.
+
+``MemorySystem.access`` is the single entry point the engine calls for every
+memory-reference event. It translates the virtual address through the
+issuing process's page table (or the kernel space for OS-server references),
+walks the private cache hierarchy, and lets the coherence protocol service
+misses and upgrades. The returned latency is what the backend replies to the
+frontend's event port.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.config import SimConfig
+from ..core.stats import StatsRegistry
+from .cache import Cache, LineState
+from .coherence import make_protocol
+from .pagetable import MajorFault, Vmm
+
+
+class MemorySystem:
+    """Caches, interconnect and VM for one simulated machine."""
+
+    def __init__(self, cfg: SimConfig, stats: StatsRegistry,
+                 minor_fault_cycles: int = 400) -> None:
+        cfg.backend.validate()
+        self.cfg = cfg
+        self.stats = stats
+        be = cfg.backend
+        mem = be.memory
+        n = cfg.num_cpus
+
+        self.vmm = Vmm(mem.num_nodes, mem.node_mem_bytes, mem.page_size,
+                       mem.placement, n)
+        self.minor_fault_cycles = minor_fault_cycles
+
+        self.l1s: List[Cache] = [Cache(f"L1.{c}", be.l1) for c in range(n)]
+        self.l2s: Optional[List[Cache]] = None
+        if be.detail == "complex" and be.l2 is not None:
+            self.l2s = [Cache(f"L2.{c}", be.l2) for c in range(n)]
+        outer = self.l2s if self.l2s is not None else self.l1s
+        inner: List[Optional[Cache]] = (
+            list(self.l1s) if self.l2s is not None else [None] * n
+        )
+
+        self.protocol = make_protocol(
+            be.coherence,
+            dram_latency=mem.dram_latency,
+            bus_latency=mem.bus_latency,
+            dir_latency=mem.dir_latency,
+            hop_latency=mem.hop_latency,
+            num_nodes=mem.num_nodes,
+            page_size=mem.page_size,
+        )
+        self.protocol.attach(outer, inner, self.vmm.cpu_node,
+                             self.vmm.home_of_paddr, be.l1.line_size)
+        self._outer = outer
+        self._line_size = be.l1.line_size
+        self._line_shift = be.l1.line_size.bit_length() - 1
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+
+    def access(self, pid: int, vaddr: int, size: int, write: bool,
+               cpu: int, now: int,
+               atomic: bool = False) -> Tuple[int, Optional[MajorFault]]:
+        """Service one reference; returns (latency, major_fault).
+
+        On a major fault no timing progress is made — the engine must run
+        the VM trap path and retry.
+        """
+        paddr, major, minor = self.vmm.translate(pid, vaddr, write, cpu)
+        if major is not None:
+            return 0, major
+        self.accesses += 1
+        latency = self.minor_fault_cycles if minor else 0
+        if atomic:
+            latency += 4   # bus-locked RMW pipeline cost
+
+        first = paddr >> self._line_shift
+        last = (paddr + max(size, 1) - 1) >> self._line_shift
+        line = first
+        while line <= last:
+            latency += self._access_line(line, write, cpu, now + latency)
+            line += 1
+        return latency, None
+
+    # ------------------------------------------------------------------
+
+    def _access_line(self, line: int, write: bool, cpu: int, now: int) -> int:
+        l1 = self.l1s[cpu]
+        proto = self.protocol
+        lat = l1.cfg.latency
+        st = l1.lookup(line)
+        if st is not None:
+            if not write or st >= LineState.EXCLUSIVE:
+                if write and st == LineState.EXCLUSIVE:
+                    l1.set_state(line, LineState.MODIFIED)
+                    if self.l2s is not None:
+                        self.l2s[cpu].set_state(line, LineState.MODIFIED)
+                return lat
+            # write hit on SHARED: upgrade through the protocol
+            up, newst = proto.write_miss(cpu, line, now)
+            l1.set_state(line, newst)
+            if self.l2s is not None:
+                self.l2s[cpu].set_state(line, newst)
+            return lat + up
+
+        if self.l2s is not None:
+            l2 = self.l2s[cpu]
+            lat += l2.cfg.latency
+            st2 = l2.lookup(line)
+            if st2 is not None:
+                if write and st2 < LineState.EXCLUSIVE:
+                    up, st2 = proto.write_miss(cpu, line, now + lat)
+                    lat += up
+                    l2.set_state(line, st2)
+                elif write and st2 == LineState.EXCLUSIVE:
+                    st2 = LineState.MODIFIED
+                    l2.set_state(line, st2)
+                self._fill_l1(cpu, line, st2)
+                return lat
+            # miss everywhere: coherence action
+            if write:
+                miss_lat, newst = proto.write_miss(cpu, line, now + lat)
+            else:
+                miss_lat, newst = proto.read_miss(cpu, line, now + lat)
+            lat += miss_lat
+            victim = l2.insert(line, newst)
+            if victim is not None:
+                self._handle_outer_victim(cpu, victim, now + lat)
+            self._fill_l1(cpu, line, newst)
+            return lat
+
+        # simple hierarchy: L1 is the coherence point
+        if write:
+            miss_lat, newst = proto.write_miss(cpu, line, now + lat)
+        else:
+            miss_lat, newst = proto.read_miss(cpu, line, now + lat)
+        lat += miss_lat
+        victim = l1.insert(line, newst)
+        if victim is not None:
+            vline, vstate = victim
+            if vstate == LineState.MODIFIED:
+                proto.writeback(cpu, vline, now + lat)
+            else:
+                proto.forget(cpu, vline)
+        return lat
+
+    def _fill_l1(self, cpu: int, line: int, state: int) -> None:
+        l1 = self.l1s[cpu]
+        victim = l1.insert(line, state)
+        if victim is not None:
+            vline, vstate = victim
+            # L1 victim folds into L2 (inclusive hierarchy)
+            if vstate == LineState.MODIFIED and self.l2s is not None:
+                self.l2s[cpu].set_state(vline, LineState.MODIFIED)
+
+    def _handle_outer_victim(self, cpu: int, victim: Tuple[int, int],
+                             now: int) -> None:
+        vline, vstate = victim
+        l1 = self.l1s[cpu]
+        # inclusion: the L1 copy must go too, merging dirtiness
+        l1st = l1.invalidate(vline)
+        if l1st == LineState.MODIFIED:
+            vstate = LineState.MODIFIED
+        if vstate == LineState.MODIFIED:
+            self.protocol.writeback(cpu, vline, now)
+        else:
+            self.protocol.forget(cpu, vline)
+
+    # -- reporting ------------------------------------------------------------
+
+    def cache_summary(self) -> dict:
+        """Hit/miss totals for every cache plus protocol counters."""
+        out = {
+            "l1": {c.name: (c.hits, c.misses) for c in self.l1s},
+            "protocol": dict(self.protocol.counters),
+            "minor_faults": self.vmm.minor_faults,
+            "major_faults": self.vmm.major_faults,
+        }
+        if self.l2s is not None:
+            out["l2"] = {c.name: (c.hits, c.misses) for c in self.l2s}
+        return out

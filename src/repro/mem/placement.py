@@ -1,0 +1,43 @@
+"""Page placement policies for distributed (NUMA) memory.
+
+The paper (§3.3.1): "The home nodes can be assigned at the time of page
+creation (if a round-robin or block page placement policy is being used) or
+when the page is first referenced (if a first-touch page placement algorithm
+is used)."
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigError
+
+
+class PagePlacement:
+    """Chooses the home node for a newly created page."""
+
+    def __init__(self, policy: str, num_nodes: int) -> None:
+        if policy not in ("round_robin", "block", "first_touch"):
+            raise ConfigError(f"unknown placement policy {policy!r}")
+        if num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        self.policy = policy
+        self.num_nodes = num_nodes
+        self._rr = 0
+
+    def place(self, vpn_in_segment: int, segment_pages: int,
+              accessor_node: int) -> int:
+        """Home node for page ``vpn_in_segment`` of a ``segment_pages``-page
+        segment, first referenced from ``accessor_node``."""
+        n = self.num_nodes
+        if n == 1:
+            return 0
+        if self.policy == "first_touch":
+            return accessor_node
+        if self.policy == "round_robin":
+            node = self._rr
+            self._rr = (self._rr + 1) % n
+            return node
+        # block: contiguous runs of pages per node
+        if segment_pages <= 0:
+            return vpn_in_segment % n
+        per = (segment_pages + n - 1) // n
+        return min(vpn_in_segment // per, n - 1)

@@ -1,0 +1,25 @@
+"""Selective OS simulation (the heart of COMPASS, paper §3).
+
+Category-1 OS functions — where applications spend real time — are simulated
+by the multi-threaded :mod:`OS server <repro.osim.server>`, whose kernel code
+is instrumented and issues kernel-space memory references through the paired
+process's event port. Category-2 functions — process scheduling and virtual
+memory — live in the backend (:mod:`repro.osim.schedulers`,
+:mod:`repro.mem.pagetable`) and shape memory behaviour without generating
+instrumented kernel references.
+"""
+
+from .schedulers import ProcessScheduler
+from .interrupts import InterruptController, Interrupt
+from .server import OSServer, OSThread, syscall_handler
+from . import signals
+
+__all__ = [
+    "ProcessScheduler",
+    "InterruptController",
+    "Interrupt",
+    "OSServer",
+    "OSThread",
+    "syscall_handler",
+    "signals",
+]

@@ -1,0 +1,70 @@
+"""Kernel address-space layout.
+
+Category-1 OS service code runs in the OS server but *in the kernel address
+space* (one shared space — "most of the kernel code executes in a shared
+memory environment", §3.1). These constants carve that space into the
+structures the syscall models touch, so kernel references land on shared
+lines and create the coherence traffic a real kernel creates.
+"""
+
+from __future__ import annotations
+
+from ..mem.pagetable import KERNEL_BASE
+
+#: kernel text + static data (rarely referenced by our models)
+KTEXT = KERNEL_BASE
+#: buffer-cache headers: one 64-byte header per buffer
+BUFCACHE_HDR = 0xC100_0000
+#: buffer-cache data pages (buffer i at BUFCACHE_DATA + i * bsize)
+BUFCACHE_DATA = 0xC200_0000
+#: mbuf pool (mbuf j at MBUF_POOL + j * MBUF_SIZE)
+MBUF_POOL = 0xC800_0000
+MBUF_SIZE = 256
+#: socket / TCP control blocks (socket s at SOCKETS + s * 512)
+SOCKETS = 0xCC00_0000
+SOCKET_CB = 512
+#: per-OS-thread kernel stacks (thread t at KSTACKS + t * KSTACK_SIZE)
+KSTACKS = 0xD000_0000
+KSTACK_SIZE = 0x1_0000
+#: process/file tables
+PROC_TABLE = 0xE000_0000
+FILE_TABLE = 0xE100_0000
+FILE_ENTRY = 128
+
+# reserved kernel lock ids (applications use small non-negative ids)
+KLOCK_BASE = 1_000_000
+KLOCK_BUFCACHE = KLOCK_BASE + 1
+KLOCK_FILETABLE = KLOCK_BASE + 2
+KLOCK_SOCKTABLE = KLOCK_BASE + 3
+KLOCK_VMM = KLOCK_BASE + 4
+KLOCK_SOCKET = KLOCK_BASE + 100       # + socket id
+
+
+def buf_hdr_addr(idx: int) -> int:
+    """Kernel address of buffer header ``idx``."""
+    return BUFCACHE_HDR + idx * 64
+
+
+def buf_data_addr(idx: int, bsize: int) -> int:
+    """Kernel address of buffer ``idx``'s data page."""
+    return BUFCACHE_DATA + idx * bsize
+
+
+def mbuf_addr(idx: int) -> int:
+    """Kernel address of mbuf ``idx``."""
+    return MBUF_POOL + (idx % 65536) * MBUF_SIZE
+
+
+def socket_cb_addr(sock_id: int) -> int:
+    """Kernel address of a socket control block."""
+    return SOCKETS + (sock_id % 262144) * SOCKET_CB
+
+
+def kstack_addr(tid: int) -> int:
+    """Base of OS thread ``tid``'s kernel stack."""
+    return KSTACKS + (tid % 4096) * KSTACK_SIZE
+
+
+def file_entry_addr(ino: int) -> int:
+    """Kernel address of the in-core inode / file-table entry."""
+    return FILE_TABLE + (ino % 131072) * FILE_ENTRY

@@ -1,0 +1,15 @@
+"""Syscall models, grouped the way the paper's profile groups them:
+
+* :mod:`repro.osim.syscalls.fs` — file I/O and mapped files (kreadv,
+  kwritev, open, close, statx, mmap, munmap, msync, fsync): the TPC-C/TPC-D
+  hot set;
+* :mod:`repro.osim.syscalls.net` — sockets (socket, bind, listen, naccept,
+  connect, select, send, recv): the SPECWeb hot set;
+* :mod:`repro.osim.syscalls.ipc` — shared memory (shmget/shmat/shmdt,
+  category 2 per §3.3.1), pipes, process spawn/wait;
+* :mod:`repro.osim.syscalls.misc` — getpid, time, sleep, yield.
+
+Category-1 handlers are generators that run as instrumented kernel code in
+the OS server; category-2 handlers are plain functions modeled in the
+backend (``(engine, proc, *args) -> (SyscallResult, cycles)``).
+"""

@@ -1,0 +1,357 @@
+"""File-system syscalls (category 1).
+
+These are the calls the paper's DB profile is made of: "kwritev, kreadv,
+mmap, munmap and msync, which are related to disk I/O and the file system"
+(§3). Every handler is instrumented kernel code: it walks kernel structures
+(file table entries, buffer headers), moves data line-by-line between kernel
+buffers and user memory, and blocks the caller on the disk where a real
+kernel would.
+
+User-buffer addresses are real simulated virtual addresses supplied by the
+application, so copyin/copyout traffic hits the application's own cache
+state — the key fidelity point of modeling category-1 calls in the OS
+server.
+"""
+
+from __future__ import annotations
+
+from ...core import events as ev
+from ...core.frontend import WaitToken
+from ...devices.disk import DiskRequest
+from .. import kmem
+from ..filesystem import BLOCK_SIZE
+from ..server import FdEntry, Sys, syscall_handler
+
+#: cycles per path component for the namei lookup walk
+NAMEI_PER_COMPONENT = 220
+
+# open() flags (AIX-flavoured subset)
+O_RDONLY = 0
+O_WRONLY = 1
+O_RDWR = 2
+O_CREAT = 0x100
+O_TRUNC = 0x200
+O_SYNC = 0x400
+
+
+def _namei(sys: Sys, path: str):
+    """Path walk: touch one directory line per component."""
+    k = sys.k
+    comps = [c for c in path.split("/") if c]
+    for i, _c in enumerate(comps):
+        k.compute(NAMEI_PER_COMPONENT)
+        yield from k.load(kmem.FILE_TABLE + 64 * (hash(path[: i + 1])
+                                                  % 4096))
+    return sys.fs.lookup(path)
+
+
+@syscall_handler("open", 1)
+def sys_open(sys: Sys, path: str, flags: int = O_RDONLY, *_rest):
+    """open(path, flags): namei walk + file-table entry allocation."""
+    sys.entry()
+    node = yield from _namei(sys, path)
+    if node is None:
+        if not (flags & O_CREAT):
+            return sys.error(ev.ENOENT)
+        node = sys.fs.create(path)
+    elif flags & O_TRUNC:
+        sys.fs.truncate(node.ino, 0)
+    yield from sys.k.lock(kmem.KLOCK_FILETABLE)
+    yield from sys.k.store(kmem.file_entry_addr(node.ino))
+    node.open_count += 1
+    entry = FdEntry("file", ino=node.ino, path=path)
+    fd = sys.server.fd_alloc(sys.proc.pid, entry)
+    yield from sys.k.unlock(kmem.KLOCK_FILETABLE)
+    if fd < 0:
+        return sys.error(ev.EMFILE)
+    return sys.result(fd)
+
+
+@syscall_handler("close", 1)
+def sys_close(sys: Sys, fd: int):
+    """close(fd): releases the descriptor (file or socket)."""
+    sys.entry()
+    entry = sys.server.fd_close(sys.proc.pid, fd)
+    if entry is None:
+        return sys.error(ev.EBADF)
+    yield from sys.k.store(kmem.file_entry_addr(max(entry.ino, 0)))
+    if entry.kind == "socket":
+        sys.k.compute(900)          # PCB teardown, FIN processing
+        sys.net.close(entry.sid)
+    else:
+        node = sys.fs.lookup(entry.path)
+        if node is not None and node.open_count > 0:
+            node.open_count -= 1
+    return sys.result(0)
+
+
+@syscall_handler("statx", 1)
+def sys_statx(sys: Sys, path: str, uaddr: int = 0):
+    """statx(path): namei + stat-struct copyout."""
+    sys.entry()
+    node = yield from _namei(sys, path)
+    if node is None:
+        return sys.error(ev.ENOENT)
+    yield from sys.k.load(kmem.file_entry_addr(node.ino))
+    if uaddr:
+        yield from sys.copy_block(kmem.file_entry_addr(node.ino), uaddr, 64)
+    return sys.result(0, data={"size": node.size, "ino": node.ino})
+
+
+@syscall_handler("lseek", 2)
+def sys_lseek(engine, proc, fd: int, offset: int, whence: int = 0):
+    """lseek(fd, offset, whence): descriptor bookkeeping only (category 2 —
+    no kernel memory behaviour worth modeling)."""
+    entry = engine.os_server.fd_entry(proc.pid, fd)
+    if entry is None or entry.kind != "file":
+        return ev.SyscallResult(-1, ev.EBADF), 60
+    node = engine.os_server.fs.inode(entry.ino)
+    if whence == 0:
+        entry.offset = offset
+    elif whence == 1:
+        entry.offset += offset
+    else:
+        entry.offset = node.size + offset
+    return ev.SyscallResult(entry.offset), 60
+
+
+def _file_read(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int):
+    """Shared body of kreadv/read on a regular file, with one-block
+    readahead for sequential access."""
+    node = sys.fs.inode(entry.ino)
+    if entry.offset >= node.size:
+        return sys.result(0, data=b"")
+    nbytes = min(nbytes, node.size - entry.offset)
+    data = sys.fs.read(node.ino, entry.offset, nbytes)
+    off = entry.offset
+    end = off + nbytes
+    copied = 0
+    bc = sys.bufcache
+    while off < end:
+        blk = off // BLOCK_SIZE
+        in_blk = off - blk * BLOCK_SIZE
+        chunk = min(BLOCK_SIZE - in_blk, end - off)
+        slot = yield from sys.read_block_into_cache(node, blk)
+        # sequential readahead: start the next block's disk read early
+        nxt = blk + 1
+        if nxt * BLOCK_SIZE < node.size and not bc.resident(node.ino, nxt):
+            ra_slot, _ = bc.install(node.ino, nxt)
+            req = DiskRequest(node.disk_offset(nxt), bc.bsize, False)
+            sys.engine.disk.submit(req, sys.now)
+            sys.server.readahead += 1
+        yield from sys.copy_block(bc.data_addr(slot) + in_blk,
+                                  uaddr + copied, chunk)
+        off += chunk
+        copied += chunk
+    entry.offset = end
+    return sys.result(copied, data=data)
+
+
+def _file_write(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int,
+                data: bytes, sync: bool):
+    """Shared body of kwritev/write on a regular file (delayed writes)."""
+    node = sys.fs.inode(entry.ino)
+    if data:
+        sys.fs.write(node.ino, entry.offset, data[:nbytes])
+    else:
+        sys.fs.write(node.ino, entry.offset, b"\0" * nbytes)
+    off = entry.offset
+    end = off + nbytes
+    copied = 0
+    bc = sys.bufcache
+    while off < end:
+        blk = off // BLOCK_SIZE
+        in_blk = off - blk * BLOCK_SIZE
+        chunk = min(BLOCK_SIZE - in_blk, end - off)
+        slot = yield from sys.write_block_through_cache(node, blk, sync=sync)
+        yield from sys.copy_block(uaddr + copied,
+                                  bc.data_addr(slot) + in_blk, chunk)
+        off += chunk
+        copied += chunk
+    entry.offset = end
+    return sys.result(copied)
+
+
+@syscall_handler("kreadv", 1)
+def sys_kreadv(sys: Sys, fd: int, uaddr: int, nbytes: int):
+    """kreadv(fd, uaddr, nbytes): the kernel side of read/readv.
+
+    File descriptors go through the buffer cache (blocking on disk misses);
+    socket descriptors take the TCP receive path.
+    """
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None:
+        return sys.error(ev.EBADF)
+    if entry.kind == "socket":
+        from . import net as net_calls
+        return (yield from net_calls._sock_recv(sys, entry, uaddr, nbytes))
+    res = yield from _file_read(sys, entry, uaddr, nbytes)
+    return res
+
+
+@syscall_handler("kwritev", 1)
+def sys_kwritev(sys: Sys, fd: int, uaddr: int, nbytes: int,
+                data: bytes = b""):
+    """kwritev(fd, uaddr, nbytes[, data]): the kernel side of write/writev.
+
+    ``data`` optionally carries functional bytes (the simulator's analog of
+    the iovec contents living in frontend memory).
+    """
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None:
+        return sys.error(ev.EBADF)
+    if entry.kind == "socket":
+        from . import net as net_calls
+        return (yield from net_calls._sock_send(sys, entry, uaddr, nbytes,
+                                                data))
+    res = yield from _file_write(sys, entry, uaddr, nbytes, data, sync=False)
+    return res
+
+
+@syscall_handler("read", 1)
+def sys_read(sys: Sys, fd: int, uaddr: int, nbytes: int):
+    """read() — alias of kreadv (applications call the libc name)."""
+    return (yield from sys_kreadv(sys, fd, uaddr, nbytes))
+
+
+@syscall_handler("write", 1)
+def sys_write(sys: Sys, fd: int, uaddr: int, nbytes: int, data: bytes = b""):
+    """write() — alias of kwritev."""
+    return (yield from sys_kwritev(sys, fd, uaddr, nbytes, data))
+
+
+@syscall_handler("fsync", 1)
+def sys_fsync(sys: Sys, fd: int):
+    """fsync(fd): write every dirty cached block of the file, blocking until
+    the last one reaches the disk."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "file":
+        return sys.error(ev.EBADF)
+    node = sys.fs.inode(entry.ino)
+    dirty = sys.bufcache.dirty_blocks_of(node.ino)
+    if not dirty:
+        return sys.result(0)
+    token = WaitToken(f"fsync:{node.ino}")
+    last = dirty[-1]
+    for ino, blk in dirty:
+        yield from sys.k.load(kmem.file_entry_addr(ino))
+        req = DiskRequest(node.disk_offset(blk), BLOCK_SIZE, True)
+        if (ino, blk) == last:
+            req.actions.append(token.wake)
+        sys.engine.disk.submit(req, sys.now)
+        sys.bufcache.clean(ino, blk)
+    sys.k.compute(500)
+    yield token
+    return sys.result(0)
+
+
+@syscall_handler("ftruncate", 1)
+def sys_ftruncate(sys: Sys, fd: int, size: int):
+    """ftruncate(fd, size)."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "file":
+        return sys.error(ev.EBADF)
+    sys.fs.truncate(entry.ino, size)
+    yield from sys.k.store(kmem.file_entry_addr(entry.ino))
+    return sys.result(0)
+
+
+@syscall_handler("unlink", 1)
+def sys_unlink(sys: Sys, path: str):
+    """unlink(path)."""
+    sys.entry()
+    node = yield from _namei(sys, path)
+    if node is None:
+        return sys.error(ev.ENOENT)
+    sys.fs.unlink(path)
+    yield from sys.k.store(kmem.file_entry_addr(node.ino))
+    return sys.result(0)
+
+
+# ---------------------------------------------------------------------------
+# mapped files: mmap / munmap / msync (the TPC-D trio)
+# ---------------------------------------------------------------------------
+
+@syscall_handler("mmap", 1)
+def sys_mmap(sys: Sys, fd: int, nbytes: int, shared: int = 1,
+             offset: int = 0):
+    """mmap(fd, len, shared, offset): map a file region; pages materialise
+    through major faults on first reference (the precise-trap path, §3.2).
+    Kernel work scales with the number of pages (segment setup)."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "file":
+        return sys.error(ev.EBADF)
+    vmm = sys.engine.memsys.vmm
+    ps = vmm.page_size
+    npages = (nbytes + ps - 1) // ps
+    base = sys.engine.mmap_alloc(sys.proc.pid, nbytes)
+    yield from sys.k.lock(kmem.KLOCK_VMM)
+    sys.k.compute(60 * max(1, npages // 8) + 800)
+    yield from sys.k.store(kmem.PROC_TABLE + 128 * (sys.proc.pid % 1024))
+    vmm.map_file(sys.proc.pid, base, npages * ps, entry.ino,
+                 offset=offset, shared=bool(shared))
+    yield from sys.k.unlock(kmem.KLOCK_VMM)
+    return sys.result(base)
+
+
+@syscall_handler("munmap", 1)
+def sys_munmap(sys: Sys, base: int):
+    """munmap(base): drop the mapping (page-table teardown cost)."""
+    sys.entry()
+    vmm = sys.engine.memsys.vmm
+    yield from sys.k.lock(kmem.KLOCK_VMM)
+    try:
+        vma = vmm.unmap(sys.proc.pid, base)
+        npages = (vma.end - vma.start) // vmm.page_size
+        sys.k.compute(40 * max(1, npages // 8) + 500)
+        result = sys.result(0)
+    except Exception:
+        result = sys.error(ev.EINVAL)
+    yield from sys.k.unlock(kmem.KLOCK_VMM)
+    return result
+
+
+@syscall_handler("msync", 1)
+def sys_msync(sys: Sys, base: int, nbytes: int, sync: int = 1):
+    """msync(base, len, sync): write mapped pages back to the file.
+
+    Walks the range page by page; each resident page is queued to the disk
+    (MS_SYNC blocks on the final write, MS_ASYNC returns immediately).
+    """
+    sys.entry()
+    vmm = sys.engine.memsys.vmm
+    space = vmm.space_of(sys.proc.pid)
+    vma = space.find_vma(base)
+    if vma is None or vma.kind != "file":
+        return sys.error(ev.EINVAL)
+    node = sys.fs.inode(vma.file_key)
+    ps = vmm.page_size
+    start_pg = (base - vma.start) // ps
+    npages = (nbytes + ps - 1) // ps
+    token = WaitToken(f"msync:{node.ino}")
+    queued = 0
+    last_req = None
+    for i in range(start_pg, start_pg + npages):
+        vpn = (vma.start + i * ps) >> (ps.bit_length() - 1)
+        if vpn not in space.table:
+            continue   # never touched: nothing to write
+        yield from sys.k.load(kmem.file_entry_addr(node.ino))
+        sys.k.compute(120)
+        page_index = (vma.file_offset + i * ps) // ps
+        req = DiskRequest(node.disk_base + page_index * ps, ps, True)
+        queued += 1
+        last_req = req
+        sys.engine.disk.submit(req, sys.now)
+    if queued and sync:
+        # the disk queue is FIFO, so the last submitted request completes
+        # last; its completion releases the caller (actions are read at
+        # completion time, so attaching after submit is safe — no task can
+        # run until this handler yields)
+        last_req.actions.append(token.wake)
+        yield token
+    return sys.result(queued)

@@ -1,0 +1,98 @@
+"""IPC and process-management syscalls.
+
+Shared memory follows §3.3.1 exactly: category 2, the stub "makes the actual
+call" (here: the functional effect in the backend Vmm) and the backend keeps
+the common shared-memory descriptor + page-table models. Process spawn/wait
+implement the blocking protocol of §3.3.3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core import events as ev
+from ...core.frontend import WaitToken
+from ..server import Sys, syscall_handler
+
+
+@syscall_handler("shmget", 2)
+def sys_shmget(engine, proc, key: int, size: int):
+    """shmget(key, size) -> shmid: creates (or finds) the common
+    shared-memory descriptor in the backend (§3.3.1)."""
+    if size <= 0:
+        return ev.SyscallResult(-1, ev.EINVAL), 120
+    shmid = engine.memsys.vmm.shmget(key, size)
+    return ev.SyscallResult(shmid), 900
+
+
+@syscall_handler("shmat", 2)
+def sys_shmat(engine, proc, shmid: int, addr: int = 0):
+    """shmat(shmid[, addr]) -> attach address: page-table entries for the
+    shared pages are created in this process's page-table model."""
+    try:
+        seg = engine.memsys.vmm.segment(shmid)
+    except Exception:
+        return ev.SyscallResult(-1, ev.EINVAL), 150
+    base = addr if addr else engine.mmap_alloc(proc.pid, seg.size)
+    try:
+        engine.memsys.vmm.shmat(proc.pid, shmid, base)
+    except Exception:
+        return ev.SyscallResult(-1, ev.EINVAL), 150
+    npages = seg.npages(engine.memsys.vmm.page_size)
+    return ev.SyscallResult(base), 600 + 8 * npages
+
+
+@syscall_handler("shmdt", 2)
+def sys_shmdt(engine, proc, addr: int):
+    """shmdt(addr): detach the segment mapped at ``addr``."""
+    try:
+        engine.memsys.vmm.shmdt(proc.pid, addr)
+    except Exception:
+        return ev.SyscallResult(-1, ev.EINVAL), 150
+    return ev.SyscallResult(0), 500
+
+
+@syscall_handler("spawn", 2)
+def sys_spawn(engine, proc, name: str, factory: Callable):
+    """spawn(name, factory) -> pid: create a new frontend process running
+    ``factory(proc_api)`` (the simulator's fork+exec; dynamic process
+    creation for pre-fork servers)."""
+    child = engine.spawn(name, factory)
+    return ev.SyscallResult(child.pid), 15_000
+
+
+@syscall_handler("waitpid", 1)
+def sys_waitpid(sys: Sys, pid: int):
+    """waitpid(pid): block until the target process exits; returns its
+    exit status."""
+    sys.entry()
+    token = WaitToken(f"waitpid:{pid}")
+    sys.engine.watch_exit(pid, token)
+    sys.k.compute(400)
+    status = yield token
+    return sys.result(status if isinstance(status, int) else 0)
+
+
+@syscall_handler("pipe", 1)
+def sys_pipe(sys: Sys):
+    """pipe() -> (read_fd, write_fd) via ``result.data``: implemented as a
+    loopback socket pair (a faithful-enough cost model for AIX pipes)."""
+    from ..server import FdEntry
+    sys.entry()
+    net = sys.net
+    # build a private listener on an ephemeral port, connect through it
+    port = 60_000 + (sys.proc.pid * 7 + net.socket_count()) % 5_000
+    lsid = net.socket(sys.proc.pid)
+    while net.bind(lsid, port):
+        port += 1
+    net.listen(lsid)
+    csid = net.connect_local(sys.proc.pid, port)
+    ssid = net.pop_accept(lsid)
+    net.close(lsid)
+    sys.k.compute(1200)
+    yield from sys.k.store(0xCC00_0000 + 512 * (csid % 1024))
+    rfd = sys.server.fd_alloc(sys.proc.pid, FdEntry("socket", sid=ssid))
+    wfd = sys.server.fd_alloc(sys.proc.pid, FdEntry("socket", sid=csid))
+    if rfd < 0 or wfd < 0:
+        return sys.error(ev.EMFILE)
+    return sys.result(0, data=(rfd, wfd))

@@ -1,0 +1,85 @@
+"""Miscellaneous syscalls: identity, time, sleeping, yielding.
+
+All cheap category-2 calls except nanosleep, which needs the blocking
+protocol (it parks the process on a timer task).
+"""
+
+from __future__ import annotations
+
+from ...core import events as ev
+from ...core.frontend import WaitToken
+from ..server import Sys, syscall_handler
+
+
+@syscall_handler("getpid", 2)
+def sys_getpid(engine, proc):
+    """getpid() -> simulated pid."""
+    return ev.SyscallResult(proc.pid), 80
+
+
+@syscall_handler("gettimeofday", 2)
+def sys_gettimeofday(engine, proc):
+    """gettimeofday() -> (sec, usec) of simulated time."""
+    ns = engine.cfg.clock.cycles_to_ns(engine.gsched.now)
+    sec = int(ns // 1_000_000_000)
+    usec = int(ns % 1_000_000_000 // 1_000)
+    return ev.SyscallResult(sec, data=(sec, usec)), 120
+
+@syscall_handler("times", 2)
+def sys_times(engine, proc):
+    """times() -> current global cycle (the raw simulated clock)."""
+    return ev.SyscallResult(engine.gsched.now), 100
+
+
+@syscall_handler("sched_yield", 2)
+def sys_sched_yield(engine, proc):
+    """sched_yield(): give up the CPU at the next event boundary when
+    someone is waiting."""
+    proc.preempt_pending = True
+    return ev.SyscallResult(0), 200
+
+
+@syscall_handler("nanosleep", 1)
+def sys_nanosleep(sys: Sys, cycles: int):
+    """nanosleep(cycles): block for a simulated duration (argument already
+    converted to cycles by the caller; see ClockDomain for conversions)."""
+    sys.entry()
+    if cycles <= 0:
+        return sys.result(0)
+    token = WaitToken("nanosleep")
+    sys.engine.gsched.schedule_after(cycles, token.wake)
+    yield token
+    return sys.result(0)
+
+
+@syscall_handler("getcpu", 2)
+def sys_getcpu(engine, proc):
+    """getcpu() -> the simulated CPU this process is running on."""
+    return ev.SyscallResult(proc.cpu), 80
+
+
+@syscall_handler("sigaction", 2)
+def sys_sigaction(engine, proc, signo: int, handler):
+    """sigaction(signo, handler): install a signal handler. COMPASS's
+    source preprocessor wraps every handler in the §4.1 non-augmented
+    wrapper; here the wrapper is applied at delivery time, so the handler
+    runs with event generation disabled. Pass ``handler=None`` to reset."""
+    if signo <= 0:
+        return ev.SyscallResult(-1, ev.EINVAL), 100
+    if handler is None:
+        engine.signals.uninstall(proc.pid, signo)
+    else:
+        engine.signals.install(proc.pid, signo, handler)
+    return ev.SyscallResult(0), 300
+
+
+@syscall_handler("kill", 2)
+def sys_kill(engine, proc, pid: int, signo: int):
+    """kill(pid, signo): queue a signal for delivery at the target's next
+    event boundary."""
+    target = engine.comm.processes.get(pid)
+    if target is None:
+        return ev.SyscallResult(-1, ev.EINVAL), 200
+    delivered = engine.signals.post(pid, signo)
+    return ev.SyscallResult(0 if delivered else -1,
+                            0 if delivered else ev.EINVAL), 400

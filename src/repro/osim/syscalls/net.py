@@ -1,0 +1,212 @@
+"""Socket syscalls (category 1) — the SPECWeb hot set.
+
+"Out of the 47.3% kernel time, about 42% is spent in a handful of OS calls,
+such as, kwritev, kreadv, select, statx, connect, open, close, naccept and
+send which are predominantly due to the TCP/IP stack" (§3). Receive copies
+walk mbufs into user buffers; sends copy user data into mbufs and charge
+checksum work before handing frames to the NIC; accept initialises a protocol
+control block; select scans descriptor sets and sleeps on socket activity.
+"""
+
+from __future__ import annotations
+
+from ...core import events as ev
+from ...core.frontend import WaitToken
+from .. import kmem
+from ..server import FdEntry, Sys, syscall_handler
+
+#: checksum/processing cycles per 8 bytes of socket payload
+CSUM_PER_8B = 1
+
+
+@syscall_handler("socket", 1)
+def sys_socket(sys: Sys, *_args):
+    """socket(): allocate a socket + protocol control block."""
+    sys.entry()
+    sid = sys.net.socket(sys.proc.pid)
+    yield from sys.k.lock(kmem.KLOCK_SOCKTABLE)
+    yield from sys.k.store(kmem.socket_cb_addr(sid))
+    yield from sys.k.unlock(kmem.KLOCK_SOCKTABLE)
+    fd = sys.server.fd_alloc(sys.proc.pid, FdEntry("socket", sid=sid))
+    if fd < 0:
+        sys.net.close(sid)
+        return sys.error(ev.EMFILE)
+    return sys.result(fd)
+
+
+@syscall_handler("bind", 1)
+def sys_bind(sys: Sys, fd: int, port: int):
+    """bind(fd, port)."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "socket":
+        return sys.error(ev.EBADF)
+    yield from sys.k.store(kmem.socket_cb_addr(entry.sid))
+    err = sys.net.bind(entry.sid, port)
+    if err:
+        return sys.error(err)
+    return sys.result(0)
+
+
+@syscall_handler("listen", 1)
+def sys_listen(sys: Sys, fd: int, backlog: int = 128):
+    """listen(fd, backlog)."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "socket":
+        return sys.error(ev.EBADF)
+    yield from sys.k.store(kmem.socket_cb_addr(entry.sid))
+    err = sys.net.listen(entry.sid)
+    if err:
+        return sys.error(err)
+    return sys.result(0)
+
+
+@syscall_handler("naccept", 1)
+def sys_naccept(sys: Sys, fd: int):
+    """naccept(fd): block until a connection arrives, then build the new
+    socket (PCB init + file-table entry) and return its descriptor."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "socket":
+        return sys.error(ev.EBADF)
+    from ...core.errors import OSError_
+    while True:
+        try:
+            nsid = sys.net.pop_accept(entry.sid)
+        except OSError_:
+            return sys.error(ev.EBADF)   # listener vanished while we slept
+        if nsid is not None:
+            break
+        token = WaitToken(f"accept:{entry.sid}")
+        sys.net.add_waiter(entry.sid, token)
+        sys.k.compute(300)     # sleep on the socket
+        yield token
+    # three-way-handshake completion + PCB initialisation
+    sys.k.compute(1200)
+    yield from sys.k.lock(kmem.KLOCK_SOCKTABLE)
+    yield from sys.k.store(kmem.socket_cb_addr(nsid))
+    yield from sys.k.store(kmem.socket_cb_addr(nsid) + 64)
+    yield from sys.k.unlock(kmem.KLOCK_SOCKTABLE)
+    nfd = sys.server.fd_alloc(sys.proc.pid, FdEntry("socket", sid=nsid))
+    if nfd < 0:
+        sys.net.close(nsid)
+        return sys.error(ev.EMFILE)
+    return sys.result(nfd)
+
+
+@syscall_handler("connect", 1)
+def sys_connect(sys: Sys, fd: int, port: int):
+    """connect(fd, port): loopback connect to a listener on this machine
+    (simulated client processes talking to server processes)."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "socket":
+        return sys.error(ev.EBADF)
+    csid = sys.net.connect_local(sys.proc.pid, port)
+    if csid is None:
+        return sys.error(ev.ECONNREFUSED)
+    # swap the unbound socket for the connected one
+    sys.net.close(entry.sid)
+    entry.sid = csid
+    sys.k.compute(1500)   # handshake
+    yield from sys.k.store(kmem.socket_cb_addr(csid))
+    return sys.result(0)
+
+
+def _sock_recv(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int):
+    """Receive path shared by recv() and kreadv-on-socket: block until data,
+    then copy mbuf chains into the user buffer."""
+    while True:
+        data = sys.net.pop_recv(entry.sid, nbytes)
+        if data is not None:
+            break
+        token = WaitToken(f"recv:{entry.sid}")
+        sys.net.add_waiter(entry.sid, token)
+        sys.k.compute(300)
+        yield token
+    n = len(data)
+    if n:
+        yield from sys.k.lock(kmem.KLOCK_SOCKET + entry.sid % 64)
+        sys.k.compute(n // 8 * CSUM_PER_8B)
+        yield from sys.copy_block(kmem.mbuf_addr(entry.sid * 7), uaddr, n)
+        yield from sys.k.unlock(kmem.KLOCK_SOCKET + entry.sid % 64)
+    return sys.result(n, data=data)
+
+
+def _sock_send(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int,
+               data: bytes = b"", payload: object = None):
+    """Send path shared by send() and kwritev-on-socket: copy user data into
+    mbufs, charge checksum, hand to the stack/NIC."""
+    if nbytes <= 0:
+        return sys.result(0)
+    yield from sys.k.lock(kmem.KLOCK_SOCKET + entry.sid % 64)
+    sys.k.compute(nbytes // 8 * CSUM_PER_8B + 400)
+    yield from sys.copy_block(uaddr, kmem.mbuf_addr(entry.sid * 7), nbytes)
+    try:
+        sys.net.send(entry.sid, nbytes, sys.now,
+                     payload=payload, data=data or b"\0" * nbytes)
+        res = sys.result(nbytes)
+    except Exception:
+        res = sys.error(ev.EPIPE)
+    yield from sys.k.unlock(kmem.KLOCK_SOCKET + entry.sid % 64)
+    return res
+
+
+@syscall_handler("recv", 1)
+def sys_recv(sys: Sys, fd: int, uaddr: int, nbytes: int):
+    """recv(fd, uaddr, nbytes): returns data via ``result.data``."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "socket":
+        return sys.error(ev.EBADF)
+    return (yield from _sock_recv(sys, entry, uaddr, nbytes))
+
+
+@syscall_handler("send", 1)
+def sys_send(sys: Sys, fd: int, uaddr: int, nbytes: int, data: bytes = b"",
+             payload: object = None):
+    """send(fd, uaddr, nbytes[, data[, payload]])."""
+    sys.entry()
+    entry = sys.fd(fd)
+    if entry is None or entry.kind != "socket":
+        return sys.error(ev.EBADF)
+    return (yield from _sock_send(sys, entry, uaddr, nbytes, data, payload))
+
+
+@syscall_handler("select", 1)
+def sys_select(sys: Sys, fds, timeout: int = -1):
+    """select(fds, timeout_cycles): block until any descriptor is readable.
+
+    Returns the ready descriptor list in ``result.data``. ``timeout`` < 0
+    blocks forever; 0 polls.
+    """
+    sys.entry()
+    entries = []
+    for fd in fds:
+        e = sys.fd(fd)
+        if e is None or e.kind != "socket":
+            return sys.error(ev.EBADF)
+        entries.append((fd, e))
+    while True:
+        ready = []
+        for fd, e in entries:
+            # descriptor-set scan cost + socket CB touch
+            sys.k.compute(80)
+            yield from sys.k.load(kmem.socket_cb_addr(e.sid))
+            if sys.net.get(e.sid).readable():
+                ready.append(fd)
+        if ready:
+            return sys.result(len(ready), data=ready)
+        if timeout == 0:
+            return sys.result(0, data=[])
+        token = WaitToken("select")
+        for _fd, e in entries:
+            sys.net.add_waiter(e.sid, token)
+        if timeout > 0:
+            sys.engine.gsched.schedule_after(
+                timeout, lambda t=token: t.wake("timeout"))
+        sys.k.compute(400)
+        res = yield token
+        if res == "timeout":
+            return sys.result(0, data=[])

@@ -1,0 +1,22 @@
+"""Request traces (paper §4.2).
+
+SPECWeb96 cannot drive a simulated server directly — "SPECWeb96 will simply
+time out and drop connections to the server, because the server under
+simulation is too slow" — so COMPASS records an intermediate HTTP request
+trace and replays it with a trace player. This package provides the trace
+format and file round-trip; the player lives with the web-server app.
+"""
+
+from .http import HttpRequest, load_trace, save_trace
+from .memtrace import (MemTraceRecorder, footprint, miss_ratio_curve,
+                       reuse_distances)
+
+__all__ = [
+    "HttpRequest",
+    "save_trace",
+    "load_trace",
+    "MemTraceRecorder",
+    "footprint",
+    "reuse_distances",
+    "miss_ratio_curve",
+]

@@ -1,0 +1,54 @@
+"""HTTP request trace records and file round-trip.
+
+One line per request::
+
+    <think_cycles> <path>
+
+``think_cycles`` is the client think time before issuing the request
+(relative pacing; absolute timing emerges from server responses, which is
+what makes trace replay robust against a slow simulated server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Union
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One GET in the trace."""
+
+    think_cycles: int
+    path: str
+
+    def request_bytes(self) -> bytes:
+        """Wire form of the request."""
+        return f"GET {self.path} HTTP/1.0\r\n\r\n".encode()
+
+
+def save_trace(requests: Iterable[HttpRequest],
+               path: Union[str, Path]) -> int:
+    """Write a trace file; returns the number of records."""
+    n = 0
+    with open(path, "w") as f:
+        for r in requests:
+            f.write(f"{r.think_cycles} {r.path}\n")
+            n += 1
+    return n
+
+
+def load_trace(path: Union[str, Path]) -> List[HttpRequest]:
+    """Read a trace file written by :func:`save_trace`."""
+    out: List[HttpRequest] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: malformed trace line")
+            out.append(HttpRequest(int(parts[0]), parts[1]))
+    return out

@@ -1,0 +1,162 @@
+"""Memory-reference trace recording and analysis.
+
+COMPASS's event stream *is* a memory trace; this module taps it. Attach a
+:class:`MemTraceRecorder` to an engine and every serviced memory event is
+recorded as ``(cycle, cpu, pid, kind, vaddr, size, latency, mode)``. Traces
+round-trip through a compact text format and come with the two analyses
+architecture studies reach for first: per-line reuse distances and working-
+set footprints.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core import events as ev
+
+#: one trace record
+Rec = Tuple[int, int, int, int, int, int, int, str]
+
+_KIND_CODE = {ev.EvKind.READ: "R", ev.EvKind.WRITE: "W", ev.EvKind.RMW: "A"}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+
+@dataclass
+class MemTraceRecorder:
+    """Engine tap collecting memory references.
+
+    Use::
+
+        rec = MemTraceRecorder.attach(engine, max_records=100_000)
+        engine.run()
+        rec.save("q1.memtrace")
+    """
+
+    max_records: int = 1_000_000
+    records: List[Rec] = None
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.records is None:
+            self.records = []
+
+    @classmethod
+    def attach(cls, engine, max_records: int = 1_000_000) -> "MemTraceRecorder":
+        """Install on an engine (wraps the memory system's access path)."""
+        rec = cls(max_records=max_records)
+        ms = engine.memsys
+        orig = ms.access
+
+        def tapped(pid, vaddr, size, write, cpu, now, atomic=False):
+            lat, fault = orig(pid, vaddr, size, write, cpu, now,
+                              atomic=atomic)
+            if fault is None:
+                kind = (ev.EvKind.RMW if atomic
+                        else ev.EvKind.WRITE if write else ev.EvKind.READ)
+                rec.record(now, cpu, pid, kind, vaddr, size, lat, "u")
+            return lat, fault
+
+        ms.access = tapped
+        return rec
+
+    def record(self, cycle: int, cpu: int, pid: int, kind: int, vaddr: int,
+               size: int, latency: int, mode: str) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append((cycle, cpu, pid, int(kind), vaddr, size,
+                             latency, mode))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> int:
+        """One record per line: ``cycle cpu pid K vaddr size latency``."""
+        with open(path, "w") as f:
+            f.write("# compass memtrace v1\n")
+            for cycle, cpu, pid, kind, vaddr, size, lat, _m in self.records:
+                code = _KIND_CODE.get(kind, "R")
+                f.write(f"{cycle} {cpu} {pid} {code} {vaddr:#x} {size} "
+                        f"{lat}\n")
+        return len(self.records)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> List[Rec]:
+        out: List[Rec] = []
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 7:
+                    raise ValueError(f"{path}:{lineno}: bad record")
+                cycle, cpu, pid = int(parts[0]), int(parts[1]), int(parts[2])
+                kind = int(_CODE_KIND[parts[3]])
+                vaddr = int(parts[4], 0)
+                size, lat = int(parts[5]), int(parts[6])
+                out.append((cycle, cpu, pid, kind, vaddr, size, lat, "u"))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# analyses
+# ---------------------------------------------------------------------------
+
+def footprint(records: Iterable[Rec], line_size: int = 32) -> Dict[str, int]:
+    """Distinct lines and bytes touched (the working set)."""
+    lines = set()
+    for _c, _cpu, _pid, _k, vaddr, size, _l, _m in records:
+        first = vaddr // line_size
+        last = (vaddr + max(size, 1) - 1) // line_size
+        lines.update(range(first, last + 1))
+    return {"lines": len(lines), "bytes": len(lines) * line_size}
+
+
+def reuse_distances(records: Iterable[Rec], line_size: int = 32,
+                    cap: int = 1 << 20) -> List[int]:
+    """LRU stack (reuse) distance per reference; -1 = cold miss.
+
+    The classic single-pass OrderedDict stack algorithm; ``cap`` bounds the
+    stack for very long traces.
+    """
+    stack: "OrderedDict[int, None]" = OrderedDict()
+    out: List[int] = []
+    for _c, _cpu, _pid, _k, vaddr, _s, _l, _m in records:
+        line = vaddr // line_size
+        if line in stack:
+            depth = 0
+            for key in reversed(stack):
+                if key == line:
+                    break
+                depth += 1
+            out.append(depth)
+            stack.move_to_end(line)
+        else:
+            out.append(-1)
+            stack[line] = None
+            if len(stack) > cap:
+                stack.popitem(last=False)
+    return out
+
+
+def miss_ratio_curve(records: Iterable[Rec], line_size: int = 32,
+                     sizes: Optional[List[int]] = None) -> Dict[int, float]:
+    """Miss ratio for a range of fully-associative LRU cache sizes (in
+    lines) — computed from the reuse distances."""
+    dists = reuse_distances(records, line_size)
+    if not dists:
+        return {}
+    if sizes is None:
+        sizes = [16, 64, 256, 1024, 4096]
+    total = len(dists)
+    out = {}
+    for s in sizes:
+        misses = sum(1 for d in dists if d < 0 or d >= s)
+        out[s] = misses / total
+    return out

@@ -1,0 +1,38 @@
+"""Shared fixtures for the COMPASS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Engine, complex_backend, simple_backend
+from repro.core.stats import StatsRegistry
+
+
+@pytest.fixture
+def engine1():
+    """A single-CPU simple-backend engine."""
+    return Engine(simple_backend(num_cpus=1))
+
+
+@pytest.fixture
+def engine2():
+    """A 2-CPU complex-backend engine."""
+    return Engine(complex_backend(num_cpus=2))
+
+
+@pytest.fixture
+def engine4():
+    """A 4-CPU complex-backend (CC-NUMA) engine."""
+    return Engine(complex_backend(num_cpus=4))
+
+
+def run_app(engine: Engine, *apps, **kw):
+    """Spawn each app and run to completion; returns (procs, stats)."""
+    procs = [engine.spawn(f"t{i}", app) for i, app in enumerate(apps)]
+    stats = engine.run(**kw)
+    return procs, stats
+
+
+@pytest.fixture
+def runner():
+    return run_app

@@ -1,0 +1,100 @@
+"""Occupancy-resource and mesh-network tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.bus import OccupancyResource
+from repro.mem.network import MeshNetwork
+
+
+class TestOccupancy:
+    def test_uncontended_latency_is_service(self):
+        r = OccupancyResource("bus", 8)
+        assert r.occupy(100) == 8
+        assert r.busy_until == 108
+
+    def test_back_to_back_queues(self):
+        r = OccupancyResource("bus", 8)
+        assert r.occupy(0) == 8
+        assert r.occupy(0) == 16       # waits behind the first
+        assert r.occupy(0) == 24
+        assert r.wait_cycles == 8 + 16
+
+    def test_gap_resets_queue(self):
+        r = OccupancyResource("bus", 8)
+        r.occupy(0)
+        assert r.occupy(100) == 8
+
+    def test_service_override(self):
+        r = OccupancyResource("x", 8)
+        assert r.occupy(0, service=3) == 3
+
+    def test_utilisation(self):
+        r = OccupancyResource("x", 10)
+        r.occupy(0)
+        r.occupy(50)
+        assert r.utilisation(100) == pytest.approx(0.2)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancyResource("x", -1)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    def test_busy_until_monotone(self, arrivals):
+        r = OccupancyResource("x", 5)
+        prev = 0
+        for t in sorted(arrivals):
+            r.occupy(t)
+            assert r.busy_until >= prev
+            prev = r.busy_until
+
+
+class TestMesh:
+    def test_single_node_free(self):
+        n = MeshNetwork(1, 20)
+        assert n.hops(0, 0) == 0
+        assert n.transfer(0, 0, 0) == 0
+
+    def test_hops_manhattan(self):
+        n = MeshNetwork(4, 20)   # 2x2 mesh
+        assert n.hops(0, 3) == 2
+        assert n.hops(0, 1) == 1
+        assert n.hops(2, 1) == 2
+
+    def test_route_connects_endpoints(self):
+        n = MeshNetwork(9, 10)   # 3x3
+        route = n.route(0, 8)
+        assert route[0][0] == 0 and route[-1][1] == 8
+        assert len(route) == n.hops(0, 8)
+        for (a, b), (c, d) in zip(route, route[1:]):
+            assert b == c
+
+    def test_transfer_latency_scales_with_hops(self):
+        n = MeshNetwork(4, 20)
+        one = n.transfer(0, 1, 0)
+        two = n.transfer(0, 3, 10_000)
+        assert two > one
+
+    def test_contention_on_shared_link(self):
+        n = MeshNetwork(2, 20)
+        a = n.transfer(0, 1, 0)
+        b = n.transfer(0, 1, 0)
+        assert b > a            # second message queues on the link
+
+    def test_message_and_hop_counters(self):
+        n = MeshNetwork(4, 5)
+        n.transfer(0, 3, 0)
+        assert n.messages == 1
+        assert n.total_hops == 2
+
+    def test_bad_node_count(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(0, 5)
+
+    @given(st.integers(1, 16), st.data())
+    def test_hops_symmetric(self, nnodes, data):
+        n = MeshNetwork(nnodes, 10)
+        a = data.draw(st.integers(0, nnodes - 1))
+        b = data.draw(st.integers(0, nnodes - 1))
+        assert n.hops(a, b) == n.hops(b, a)
+        assert (n.hops(a, b) == 0) == (a == b)

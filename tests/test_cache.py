@@ -1,0 +1,132 @@
+"""Cache model tests, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import CacheConfig
+from repro.mem.cache import Cache, LineState
+
+
+def small_cache(assoc=2, sets=4, line=32):
+    return Cache("t", CacheConfig(size=assoc * sets * line,
+                                  line_size=line, assoc=assoc))
+
+
+def test_miss_then_hit():
+    c = small_cache()
+    assert c.lookup(5) is None
+    c.insert(5, LineState.SHARED)
+    assert c.lookup(5) == LineState.SHARED
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_line_of_strips_offset():
+    c = small_cache(line=32)
+    assert c.line_of(0) == c.line_of(31)
+    assert c.line_of(32) == c.line_of(0) + 1
+
+
+def test_eviction_lru_order():
+    c = small_cache(assoc=2, sets=1)
+    c.insert(0, LineState.SHARED)
+    c.insert(1, LineState.SHARED)
+    c.lookup(0)                       # 0 becomes MRU
+    victim = c.insert(2, LineState.SHARED)
+    assert victim == (1, LineState.SHARED)
+    assert c.contains(0) and c.contains(2) and not c.contains(1)
+
+
+def test_dirty_eviction_counts_writeback():
+    c = small_cache(assoc=1, sets=1)
+    c.insert(0, LineState.MODIFIED)
+    victim = c.insert(1, LineState.SHARED)
+    assert victim == (0, LineState.MODIFIED)
+    assert c.writebacks == 1
+
+
+def test_insert_refill_updates_state_without_eviction():
+    c = small_cache()
+    c.insert(3, LineState.SHARED)
+    assert c.insert(3, LineState.MODIFIED) is None
+    assert c.probe(3) == LineState.MODIFIED
+    assert c.occupancy() == 1
+
+
+def test_invalidate():
+    c = small_cache()
+    c.insert(7, LineState.EXCLUSIVE)
+    assert c.invalidate(7) == LineState.EXCLUSIVE
+    assert c.invalidate(7) is None
+    assert c.invalidations == 1
+
+
+def test_probe_does_not_touch_stats_or_lru():
+    c = small_cache(assoc=2, sets=1)
+    c.insert(0, LineState.SHARED)
+    c.insert(1, LineState.SHARED)
+    c.probe(0)   # no MRU promotion
+    victim = c.insert(2, LineState.SHARED)
+    assert victim[0] == 0
+
+
+def test_set_state_on_absent_line_is_noop():
+    c = small_cache()
+    c.set_state(9, LineState.MODIFIED)
+    assert c.probe(9) is None
+
+
+def test_flush_dirty():
+    c = small_cache()
+    c.insert(1, LineState.MODIFIED)
+    c.insert(2, LineState.SHARED)
+    dirty = c.flush_dirty()
+    assert dirty == [1]
+    assert c.probe(1) == LineState.SHARED
+
+
+def test_miss_rate():
+    c = small_cache()
+    c.lookup(1)
+    c.insert(1, LineState.SHARED)
+    c.lookup(1)
+    assert c.miss_rate() == pytest.approx(0.5)
+
+
+def test_lines_map_to_distinct_sets():
+    c = small_cache(assoc=1, sets=4)
+    for line in range(4):
+        c.insert(line, LineState.SHARED)
+    assert c.occupancy() == 4   # no conflict between distinct sets
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=300))
+def test_occupancy_never_exceeds_capacity(lines):
+    c = small_cache(assoc=2, sets=4)
+    for ln in lines:
+        if c.lookup(ln) is None:
+            c.insert(ln, LineState.SHARED)
+        assert c.occupancy() <= 8
+        for s in c._sets:
+            assert len(s) <= 2
+
+
+@settings(max_examples=60)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=200))
+def test_most_recent_assoc_lines_of_a_set_always_hit(lines):
+    """LRU invariant: the last `assoc` distinct lines mapping to one set are
+    always resident."""
+    assoc, sets = 2, 4
+    c = small_cache(assoc=assoc, sets=sets)
+    recent = {s: [] for s in range(sets)}
+    for ln in lines:
+        if c.lookup(ln) is None:
+            c.insert(ln, LineState.SHARED)
+        s = ln % sets
+        if ln in recent[s]:
+            recent[s].remove(ln)
+        recent[s].insert(0, ln)
+        for r in recent[s][:assoc]:
+            assert c.contains(r)

@@ -1,0 +1,70 @@
+"""Tests for the cycle/time conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.clock import ClockDomain, DEFAULT_CLOCK
+
+
+def test_default_frequency_is_133mhz():
+    assert DEFAULT_CLOCK.freq_hz == 133_000_000
+
+
+def test_cycle_ns():
+    c = ClockDomain(100_000_000)
+    assert c.cycle_ns == pytest.approx(10.0)
+
+
+def test_ns_to_cycles_rounds_up():
+    c = ClockDomain(100_000_000)
+    assert c.ns_to_cycles(10.0) == 1
+    assert c.ns_to_cycles(10.1) == 2
+    assert c.ns_to_cycles(0) == 0
+
+
+def test_us_ms_s_conversions_consistent():
+    c = ClockDomain(133_000_000)
+    assert c.us_to_cycles(1) == c.ns_to_cycles(1000)
+    assert c.ms_to_cycles(1) == c.us_to_cycles(1000)
+    assert c.s_to_cycles(1) == 133_000_000
+
+
+def test_cycles_to_seconds_roundtrip():
+    c = ClockDomain(133_000_000)
+    assert c.cycles_to_s(133_000_000) == pytest.approx(1.0)
+    assert c.cycles_to_ns(1) == pytest.approx(1e9 / 133e6)
+
+
+def test_bytes_at_rate():
+    c = ClockDomain(100_000_000)
+    # 100 MB at 100 MB/s = 1 s = 1e8 cycles
+    assert c.bytes_at_rate(100_000_000, 100e6) == 100_000_000
+
+
+def test_bytes_at_rate_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        ClockDomain().bytes_at_rate(10, 0)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        ClockDomain().ns_to_cycles(-1)
+
+
+def test_zero_frequency_rejected():
+    with pytest.raises(ValueError):
+        ClockDomain(0)
+
+
+@given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+def test_ns_to_cycles_never_undershoots(ns):
+    """Rounding up means reconstructed time >= requested time."""
+    c = ClockDomain(133_000_000)
+    cycles = c.ns_to_cycles(ns)
+    assert c.cycles_to_ns(cycles) >= ns - 1e-3
+
+
+@given(st.integers(min_value=0, max_value=1 << 48))
+def test_cycles_seconds_roundtrip_monotone(cycles):
+    c = ClockDomain(133_000_000)
+    assert c.s_to_cycles(c.cycles_to_s(cycles)) >= cycles

@@ -1,0 +1,103 @@
+"""Communicator / CPU-states tests: registration and min-time selection."""
+
+import pytest
+
+from repro.core import events as ev
+from repro.core.communicator import Communicator, CpuState
+from repro.core.errors import CommunicatorError
+from repro.core.frontend import ProcState, SimProcess
+
+
+def proc_with_event(name, t):
+    p = SimProcess(name)
+    p.state = ProcState.RUNNING
+    e = ev.advance()
+    e.time = t
+    p.port_event = e
+    return p
+
+
+def test_register_rejects_duplicates():
+    c = Communicator(1)
+    p = SimProcess("a")
+    c.register(p)
+    with pytest.raises(CommunicatorError):
+        c.register(p)
+
+
+def test_zero_cpus_rejected():
+    with pytest.raises(CommunicatorError):
+        Communicator(0)
+
+
+def test_select_min_time():
+    c = Communicator(2)
+    a = proc_with_event("a", 50)
+    b = proc_with_event("b", 20)
+    for p in (a, b):
+        c.register(p)
+        c.mark_running(p)
+    assert c.select() is b
+
+
+def test_select_tie_breaks_by_pid():
+    c = Communicator(2)
+    a = proc_with_event("a", 10)
+    b = proc_with_event("b", 10)
+    for p in (a, b):
+        c.register(p)
+        c.mark_running(p)
+    assert c.select() is (a if a.pid < b.pid else b)
+
+
+def test_select_skips_empty_ports():
+    c = Communicator(2)
+    a = proc_with_event("a", 10)
+    b = proc_with_event("b", 5)
+    b.port_event = None
+    for p in (a, b):
+        c.register(p)
+        c.mark_running(p)
+    assert c.select() is a
+
+
+def test_select_none_when_no_ports():
+    c = Communicator(1)
+    assert c.select() is None
+
+
+def test_mark_not_running_removes_from_scan():
+    c = Communicator(1)
+    a = proc_with_event("a", 1)
+    c.register(a)
+    c.mark_running(a)
+    c.mark_not_running(a)
+    assert c.select() is None
+    c.mark_not_running(a)   # idempotent
+
+
+def test_next_event_time():
+    c = Communicator(2)
+    a = proc_with_event("a", 30)
+    b = proc_with_event("b", 7)
+    for p in (a, b):
+        c.register(p)
+        c.mark_running(p)
+    assert c.next_event_time() == 7
+
+
+def test_cpu_state_irq_flag():
+    s = CpuState(0)
+    assert not s.irq_requested
+    s.irq_pending.append(object())
+    assert s.irq_requested
+
+
+def test_cpu_of_requires_binding():
+    c = Communicator(1)
+    p = SimProcess("a")
+    c.register(p)
+    with pytest.raises(CommunicatorError):
+        c.cpu_of(p)
+    p.cpu = 0
+    assert c.cpu_of(p).index == 0

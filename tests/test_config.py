@@ -1,0 +1,109 @@
+"""Configuration validation tests."""
+
+import pytest
+
+from repro.core.config import (BackendConfig, CacheConfig, MemoryConfig,
+                               OSConfig, SimConfig, complex_backend,
+                               simple_backend, with_os)
+from repro.core.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_defaults_valid(self):
+        CacheConfig().validate()
+
+    def test_n_sets(self):
+        c = CacheConfig(size=32 * 1024, line_size=32, assoc=4)
+        assert c.n_sets == 256
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(line_size=48).validate()
+
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1000, line_size=64).validate()
+
+    def test_rejects_assoc_not_dividing(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size=1024, line_size=32, assoc=5).validate()
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(latency=-1).validate()
+
+
+class TestMemoryConfig:
+    def test_rejects_bad_placement(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(placement="random").validate()
+
+    def test_rejects_non_pow2_page(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(page_size=3000).validate()
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(num_nodes=0).validate()
+
+
+class TestBackendConfig:
+    def test_simple_needs_no_l2(self):
+        BackendConfig(detail="simple", l2=None, coherence="none").validate()
+
+    def test_complex_requires_l2(self):
+        with pytest.raises(ConfigError):
+            BackendConfig(detail="complex", l2=None).validate()
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(ConfigError):
+            BackendConfig(
+                l1=CacheConfig(line_size=32),
+                l2=CacheConfig(line_size=64)).validate()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            BackendConfig(coherence="mosi").validate()
+
+
+class TestFactories:
+    def test_simple_backend_shape(self):
+        cfg = simple_backend(num_cpus=2)
+        assert cfg.backend.detail == "simple"
+        assert cfg.backend.l2 is None
+        assert cfg.backend.coherence == "none"
+        assert cfg.num_cpus == 2
+
+    def test_complex_backend_defaults(self):
+        cfg = complex_backend(num_cpus=4)
+        assert cfg.backend.detail == "complex"
+        assert cfg.backend.l2 is not None
+        assert cfg.backend.memory.num_nodes == 2
+
+    def test_complex_backend_mesi_forces_one_node(self):
+        cfg = complex_backend(num_cpus=4, coherence="mesi")
+        assert cfg.backend.memory.num_nodes == 1
+
+    def test_mesi_multinode_rejected(self):
+        cfg = complex_backend(num_cpus=4)
+        from dataclasses import replace
+        bad = replace(cfg, backend=replace(cfg.backend, coherence="mesi"))
+        with pytest.raises(ConfigError):
+            bad.validate()
+
+    def test_with_os_replaces_only_os(self):
+        cfg = complex_backend(num_cpus=2)
+        cfg2 = with_os(cfg, scheduler="affinity", preemptive=True)
+        assert cfg2.os.scheduler == "affinity"
+        assert cfg2.os.preemptive
+        assert cfg2.backend is cfg.backend
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ConfigError):
+            SimConfig(num_cpus=0).validate()
+
+    def test_os_config_validation(self):
+        with pytest.raises(ConfigError):
+            OSConfig(scheduler="lottery").validate()
+        with pytest.raises(ConfigError):
+            OSConfig(quantum=0).validate()

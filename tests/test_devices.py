@@ -1,0 +1,174 @@
+"""Device model tests: disk, ethernet, interval timer."""
+
+import pytest
+
+from repro.core.clock import ClockDomain
+from repro.core.communicator import CpuState
+from repro.core.config import DiskConfig, EthernetConfig
+from repro.core.errors import DeviceError
+from repro.core.scheduler import GlobalScheduler
+from repro.devices.clock import IntervalTimer
+from repro.devices.disk import Disk, DiskRequest
+from repro.devices.ethernet import EthernetNic, Frame
+from repro.osim.interrupts import InterruptController
+
+
+@pytest.fixture
+def env():
+    gs = GlobalScheduler()
+    cpus = [CpuState(0), CpuState(1)]
+    intctl = InterruptController(cpus)
+    return gs, cpus, intctl
+
+
+def drain(gs):
+    while (t := gs.pop_due(1 << 60)) is not None:
+        gs.run_task(t)
+
+
+class TestDisk:
+    def test_service_time_components(self, env):
+        gs, _cpus, intctl = env
+        d = Disk("hd0", gs, intctl, DiskConfig(), ClockDomain())
+        req = DiskRequest(10 << 20, 4096, False)
+        cycles = d.service_cycles(req)
+        # 8 ms seek + ~4.2 ms rotation + transfer + controller at 133 MHz
+        assert cycles > ClockDomain().ms_to_cycles(10)
+
+    def test_sequential_requests_cheaper(self, env):
+        gs, _cpus, intctl = env
+        d = Disk("hd0", gs, intctl, DiskConfig(), ClockDomain())
+        r1 = DiskRequest(0, 4096, False)
+        d.submit(r1, 0)
+        near = d.service_cycles(DiskRequest(4096, 4096, False))
+        far = d.service_cycles(DiskRequest(500 << 20, 4096, False))
+        assert near < far
+
+    def test_fifo_queueing(self, env):
+        gs, _cpus, intctl = env
+        d = Disk("hd0", gs, intctl, DiskConfig(), ClockDomain())
+        t1 = d.submit(DiskRequest(0, 4096, False), 0)
+        t2 = d.submit(DiskRequest(0, 4096, False), 0)
+        assert t2 > t1
+        assert d.queue_cycles > 0
+
+    def test_completion_interrupt_runs_actions(self, env):
+        gs, cpus, intctl = env
+        d = Disk("hd0", gs, intctl, DiskConfig(), ClockDomain())
+        done = []
+        req = DiskRequest(0, 4096, False)
+        req.actions.append(lambda: done.append(1))
+        d.submit(req, 0)
+        drain(gs)
+        # interrupt is pending on some CPU; deliver by hand
+        for c in cpus:
+            for intr in c.irq_pending:
+                for a in intr.actions:
+                    a()
+        assert done == [1]
+
+    def test_bytes_accounted(self, env):
+        gs, _cpus, intctl = env
+        d = Disk("hd0", gs, intctl, DiskConfig(), ClockDomain())
+        d.submit(DiskRequest(0, 4096, False), 0)
+        d.submit(DiskRequest(0, 8192, True), 0)
+        assert d.read_bytes == 4096 and d.write_bytes == 8192
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(DeviceError):
+            DiskRequest(0, 0, False)
+
+
+class TestEthernet:
+    def test_deliver_schedules_rx_interrupt(self, env):
+        gs, cpus, intctl = env
+        nic = EthernetNic("en0", gs, intctl, EthernetConfig(), ClockDomain())
+        got = []
+        nic.on_receive = lambda f: got.append(f.nbytes)
+        nic.deliver(Frame(500, ("data", 1, b"x")), 0)
+        drain(gs)
+        for c in cpus:
+            for intr in c.irq_pending:
+                for a in intr.actions:
+                    a()
+        assert got == [500]
+        assert nic.rx_frames == 1
+
+    def test_wire_serialises_frames(self, env):
+        gs, _cpus, intctl = env
+        nic = EthernetNic("en0", gs, intctl, EthernetConfig(), ClockDomain())
+        t1 = nic.deliver(Frame(1500), 0)
+        t2 = nic.deliver(Frame(1500), 0)
+        assert t2 > t1
+
+    def test_transmit_splits_at_mtu(self, env):
+        gs, _cpus, intctl = env
+        nic = EthernetNic("en0", gs, intctl, EthernetConfig(mtu=1500),
+                          ClockDomain())
+        nic.transmit(4000, 0)
+        assert nic.tx_frames == 3
+
+    def test_transmit_completion_callback(self, env):
+        gs, cpus, intctl = env
+        nic = EthernetNic("en0", gs, intctl, EthernetConfig(), ClockDomain())
+        done = []
+        nic.transmit(100, 0, on_done=lambda: done.append(1))
+        drain(gs)
+        for c in cpus:
+            for intr in c.irq_pending:
+                for a in intr.actions:
+                    a()
+        assert done == [1]
+
+    def test_bandwidth_shapes_latency(self, env):
+        gs, _cpus, intctl = env
+        slow = EthernetNic("s", gs, intctl,
+                           EthernetConfig(bandwidth_mb_s=1.25), ClockDomain())
+        fast = EthernetNic("f", gs, intctl,
+                           EthernetConfig(bandwidth_mb_s=12.5), ClockDomain())
+        assert slow._wire_cycles(1500) > fast._wire_cycles(1500)
+
+    def test_bad_frame_rejected(self):
+        with pytest.raises(DeviceError):
+            Frame(0)
+
+
+class TestIntervalTimer:
+    def test_ticks_periodically(self, env):
+        gs, cpus, intctl = env
+        t = IntervalTimer(gs, intctl, interval=1000, handler_cycles=50,
+                          num_cpus=2)
+        t.start()
+        for _ in range(3):
+            task = gs.pop_due(10_000)
+            gs.run_task(task)
+        assert t.ticks == 3
+        assert intctl.posted == 6      # one per CPU per tick
+
+    def test_stop_halts_ticks(self, env):
+        gs, _cpus, intctl = env
+        t = IntervalTimer(gs, intctl, 1000, 50, 1)
+        t.start()
+        gs.run_task(gs.pop_due(10_000))
+        t.stop()
+        task = gs.pop_due(10_000)
+        if task:
+            gs.run_task(task)
+        assert t.ticks == 1
+
+    def test_on_tick_callbacks_delivered(self, env):
+        gs, cpus, intctl = env
+        seen = []
+        t = IntervalTimer(gs, intctl, 1000, 50, 1)
+        t.on_tick.append(lambda cpu, now: seen.append((cpu, now)))
+        t.start()
+        gs.run_task(gs.pop_due(10_000))
+        for intr in cpus[0].irq_pending:
+            for a in intr.actions:
+                a()
+        assert seen == [(0, 1000)]
+
+    def test_bad_interval(self, env):
+        gs, _cpus, intctl = env
+        with pytest.raises(ValueError):
+            IntervalTimer(gs, intctl, 0, 50, 1)

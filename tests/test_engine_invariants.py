@@ -1,0 +1,131 @@
+"""Whole-engine invariants checked with hypothesis-generated workloads.
+
+These are the properties that make the simulator trustworthy:
+* per-process virtual time never goes backwards;
+* events are processed in nondecreasing global time;
+* CPU time conservation: busy + idle ≈ sum of per-CPU horizons;
+* every spawned process terminates (no lost wakeups) for workloads built
+  from the safe primitive mix.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine, ProcState, complex_backend
+
+# one workload step: (op, magnitude)
+step = st.one_of(
+    st.tuples(st.just("compute"), st.integers(1, 50_000)),
+    st.tuples(st.just("load"), st.integers(0, 255)),
+    st.tuples(st.just("store"), st.integers(0, 255)),
+    st.tuples(st.just("advance"), st.just(0)),
+    st.tuples(st.just("lock"), st.integers(0, 2)),
+    st.tuples(st.just("sleep"), st.integers(1_000, 200_000)),
+    st.tuples(st.just("io"), st.integers(1, 4)),
+)
+
+workloads = st.lists(st.lists(step, min_size=1, max_size=12),
+                     min_size=1, max_size=4)
+
+
+def build_app(steps, engine, observed):
+    def app(proc):
+        held = []
+        last_t = 0
+        for op, arg in steps:
+            if op == "compute":
+                proc.compute(arg)
+            elif op == "load":
+                yield from proc.load(0x10_000 + 64 * arg)
+            elif op == "store":
+                yield from proc.store(0x10_000 + 64 * arg)
+            elif op == "advance":
+                yield from proc.advance()
+            elif op == "lock":
+                if arg in held:
+                    yield from proc.unlock(arg)
+                    held.remove(arg)
+                elif held and arg < max(held):
+                    # enforce ascending acquisition order so the generated
+                    # workloads cannot ABBA-deadlock (the engine detects
+                    # real deadlocks — covered in test_engine_basic)
+                    proc.compute(10)
+                else:
+                    yield from proc.lock(arg)
+                    held.append(arg)
+            elif op == "sleep":
+                yield from proc.call("nanosleep", arg)
+            elif op == "io":
+                r = yield from proc.call("open", f"/f{arg}", 0x100)
+                yield from proc.call("kwritev", r.value, 0x200000,
+                                     arg * 1024, b"z" * (arg * 1024))
+                yield from proc.call("close", r.value)
+            # invariant: vtime never decreases
+            t = proc.process.vtime
+            assert t >= last_t, "vtime went backwards"
+            last_t = t
+            observed.append(t)
+        for lid in held:
+            yield from proc.unlock(lid)
+        yield from proc.exit(0)
+    return app
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads)
+def test_random_workloads_terminate_and_stay_monotone(wls):
+    eng = Engine(complex_backend(num_cpus=2))
+    observed = []
+    procs = [eng.spawn(f"p{i}", build_app(steps, eng, observed))
+             for i, steps in enumerate(wls)]
+    stats = eng.run()
+    assert all(p.state == ProcState.DONE for p in procs)
+    assert stats.end_cycle >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads)
+def test_global_event_order_nondecreasing(wls):
+    eng = Engine(complex_backend(num_cpus=2))
+    times = []
+    orig = eng._handle_event
+
+    def spy(proc, event):
+        times.append(event.time)
+        return orig(proc, event)
+
+    eng._handle_event = spy
+    for i, steps in enumerate(wls):
+        eng.spawn(f"p{i}", build_app(steps, eng, []))
+    eng.run()
+    assert times == sorted(times), "events processed out of global order"
+
+
+@settings(max_examples=15, deadline=None)
+@given(workloads)
+def test_cpu_time_conservation(wls):
+    """busy + idle accounts for each CPU's full horizon (within the
+    trailing gap to end_cycle for CPUs that finished early)."""
+    eng = Engine(complex_backend(num_cpus=2))
+    for i, steps in enumerate(wls):
+        eng.spawn(f"p{i}", build_app(steps, eng, []))
+    stats = eng.run()
+    for c in range(2):
+        cpu = stats.cpu[c]
+        horizon = eng.comm.cpus[c].time
+        accounted = cpu.busy + cpu.idle
+        assert accounted <= stats.end_cycle + 1
+        # busy work can never exceed the cpu's own horizon
+        assert cpu.busy <= horizon + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(workloads)
+def test_determinism_under_hypothesis(wls):
+    def once():
+        eng = Engine(complex_backend(num_cpus=2))
+        for i, steps in enumerate(wls):
+            eng.spawn(f"p{i}", build_app(steps, eng, []))
+        st_ = eng.run()
+        return st_.end_cycle, eng.events_processed
+    assert once() == once()

@@ -1,0 +1,217 @@
+"""Engine + OS integration: interrupts, preemption, OS server pairing,
+blocking protocol, time attribution."""
+
+import pytest
+
+from repro import Engine, ProcState, complex_backend, simple_backend, with_os
+
+
+class TestOsServerPairing:
+    def test_threads_pair_and_unpair(self, engine2):
+        def app(proc):
+            yield from proc.advance()
+            yield from proc.exit(0)
+
+        p = engine2.spawn("a", app)
+        th = p.os_thread
+        assert th.state == "paired" and th.proc is p
+        engine2.run()
+        assert th.state == "single" and th.proc is None
+
+    def test_threads_recycled(self, engine2):
+        def app(proc):
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        n_threads = len(engine2.os_server.threads)
+        engine2.spawn("b", app)
+        engine2.run()
+        assert len(engine2.os_server.threads) == n_threads   # reused
+
+    def test_exit_closes_stray_sockets(self, engine2):
+        def app(proc):
+            yield from proc.call("socket")
+            yield from proc.exit(0)   # leaks the fd on purpose
+
+        engine2.spawn("a", app)
+        before = engine2.os_server.net.socket_count()
+        engine2.run()
+        assert engine2.os_server.net.socket_count() < before + 1
+
+    def test_kernel_events_hit_kernel_addresses(self, engine2):
+        """Category-1 service code references kernel space: kernel-space
+        minor faults appear after a syscall-heavy run."""
+        def app(proc):
+            r = yield from proc.call("open", "/x", 0x100)
+            yield from proc.call("kwritev", r.value, 0x100000, 4096,
+                                 b"a" * 4096)
+            yield from proc.call("close", r.value)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        stats = engine2.run()
+        assert stats.total_cpu().kernel > 0
+        assert stats.syscall_cycles["kwritev"] > 0
+
+
+class TestInterrupts:
+    def test_timer_interrupts_fire(self):
+        eng = Engine(simple_backend(num_cpus=1))
+
+        def app(proc):
+            for _ in range(4):
+                # long compute stretches crossing several timer periods
+                proc.compute(2_000_000)
+                yield from proc.advance()
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        stats = eng.run()
+        assert stats.interrupt_counts.get("timer", 0) >= 4
+        assert stats.cpu[0].interrupt > 0
+
+    def test_interrupt_delivered_at_event_boundary(self):
+        """The §3.2 mechanism: a busy frontend takes the interrupt when it
+        next sends an event, with bounded delay."""
+        eng = Engine(simple_backend(num_cpus=1))
+        seen = {}
+
+        def app(proc):
+            proc.compute(3_000_000)   # > 2 timer periods without events
+            yield from proc.advance()
+            seen["t"] = eng.gsched.now
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        stats = eng.run()
+        # the pending tick was delivered (as handler frames or idle service)
+        assert stats.interrupt_counts.get("timer", 0) >= 1
+
+    def test_idle_cpu_services_interrupts(self):
+        """With every process blocked, device completions must still be
+        delivered (the idle-loop path)."""
+        eng = Engine(complex_backend(num_cpus=2))
+        eng.os_server.fs.create("/f", b"x" * 4096)
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 0)
+            r = yield from proc.call("kreadv", r.value, 0x100000, 4096)
+            assert r.value == 4096
+            yield from proc.exit(0)
+
+        p = eng.spawn("a", app)
+        eng.run()
+        assert p.exit_status == 0
+        assert eng.stats.interrupt_counts.get("disk:hd0", 0) >= 1
+
+    def test_interrupt_time_attributed(self, engine2):
+        engine2.os_server.fs.create("/f", b"x" * 65536)
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 0)
+            yield from proc.call("kreadv", r.value, 0x100000, 65536)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        stats = engine2.run()
+        assert stats.cpu[0].interrupt + stats.cpu[1].interrupt > 0
+
+
+class TestPreemption:
+    def test_preemptive_scheduler_rotates(self):
+        cfg = with_os(simple_backend(num_cpus=1), preemptive=True,
+                      quantum=500_000)
+        eng = Engine(cfg)
+        finished = []
+
+        def app(name):
+            def body(proc):
+                for _ in range(20):
+                    proc.compute(200_000)
+                    yield from proc.advance()
+                finished.append(name)
+                yield from proc.exit(0)
+            return body
+
+        eng.spawn("a", app("a"))
+        eng.spawn("b", app("b"))
+        eng.run()
+        assert eng.procsched.preemptions > 0
+        assert sorted(finished) == ["a", "b"]
+
+    def test_no_preemption_without_flag(self):
+        cfg = with_os(simple_backend(num_cpus=1), preemptive=False)
+        eng = Engine(cfg)
+
+        def app(proc):
+            for _ in range(10):
+                proc.compute(300_000)
+                yield from proc.advance()
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        eng.spawn("b", app)
+        eng.run()
+        assert eng.procsched.preemptions == 0
+
+    def test_sched_yield(self):
+        eng = Engine(simple_backend(num_cpus=1))
+        order = []
+
+        def polite(proc):
+            for _ in range(3):
+                proc.compute(1000)
+                yield from proc.advance()
+                yield from proc.call("sched_yield")
+            order.append("polite")
+            yield from proc.exit(0)
+
+        def other(proc):
+            proc.compute(1000)
+            yield from proc.advance()
+            order.append("other")
+            yield from proc.exit(0)
+
+        eng.spawn("p", polite)
+        eng.spawn("o", other)
+        eng.run()
+        assert order[0] == "other"   # yield let the waiter in
+
+
+class TestBlockingProtocol:
+    def test_cpu_released_while_blocked(self):
+        """§3.3.3: a blocking OS call frees the processor for ready work."""
+        eng = Engine(complex_backend(num_cpus=1))
+        eng.os_server.fs.create("/big", b"x" * 131072)
+        marks = []
+
+        def io_proc(proc):
+            r = yield from proc.call("open", "/big", 0)
+            yield from proc.call("kreadv", r.value, 0x100000, 131072)
+            marks.append("io-done")
+            yield from proc.exit(0)
+
+        def cpu_proc(proc):
+            for _ in range(5):
+                proc.compute(50_000)
+                yield from proc.advance()
+            marks.append("cpu-done")
+            yield from proc.exit(0)
+
+        eng.spawn("io", io_proc)
+        eng.spawn("cpu", cpu_proc)
+        eng.run()
+        assert marks[0] == "cpu-done"   # ran while io was disk-blocked
+
+    def test_idle_accounted_when_all_blocked(self):
+        eng = Engine(complex_backend(num_cpus=2))
+
+        def app(proc):
+            yield from proc.call("nanosleep", 10_000_000)
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        stats = eng.run()
+        total_idle = sum(c.idle for c in stats.cpu)
+        assert total_idle > 5_000_000

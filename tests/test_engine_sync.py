@@ -1,0 +1,153 @@
+"""Engine-level synchronisation: locks, barriers, contention accounting."""
+
+import pytest
+
+from repro import Engine, complex_backend, simple_backend
+
+
+def test_lock_mutual_exclusion(engine2):
+    """Critical sections never overlap in simulated time."""
+    intervals = []
+
+    def app(proc):
+        for _ in range(5):
+            yield from proc.lock(1)
+            start = proc.process.vtime
+            proc.compute(1000)
+            yield from proc.advance()
+            intervals.append((start, proc.process.vtime))
+            yield from proc.unlock(1)
+            proc.compute(500)
+        yield from proc.exit(0)
+
+    engine2.spawn("a", app)
+    engine2.spawn("b", app)
+    engine2.run()
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1, f"overlap: ({s1},{e1}) vs ({s2},..)"
+
+
+def test_lock_contention_counted(engine2):
+    def app(proc):
+        for _ in range(10):
+            yield from proc.lock(3)
+            proc.compute(5000)
+            yield from proc.advance()
+            yield from proc.unlock(3)
+        yield from proc.exit(0)
+
+    engine2.spawn("a", app)
+    engine2.spawn("b", app)
+    stats = engine2.run()
+    assert stats.get("lock_contention") > 0
+    acq, contended = engine2.locks.stats()[3]
+    assert acq == 20
+
+
+def test_contended_lock_releases_cpu():
+    """A lock waiter gives its CPU to ready work (blocking-lock model):
+    holder and waiter run on the two CPUs; when the waiter blocks, the
+    bystander (queued third) gets the waiter's CPU."""
+    eng = Engine(simple_backend(num_cpus=2))
+    order = []
+
+    def holder(proc):
+        yield from proc.lock(1)
+        proc.compute(1_000_000)
+        yield from proc.advance()
+        yield from proc.unlock(1)
+        order.append("holder")
+        yield from proc.exit(0)
+
+    def waiter(proc):
+        proc.compute(100)          # starts just after holder takes the lock
+        yield from proc.lock(1)
+        yield from proc.unlock(1)
+        order.append("waiter")
+        yield from proc.exit(0)
+
+    def bystander(proc):
+        proc.compute(1000)
+        yield from proc.advance()
+        order.append("bystander")
+        yield from proc.exit(0)
+
+    eng.spawn("h", holder)
+    eng.spawn("w", waiter)
+    eng.spawn("b", bystander)
+    eng.run()
+    assert order.index("bystander") < order.index("waiter")
+
+
+def test_barrier_releases_all_at_last_arrival(engine4):
+    times = {}
+
+    def make(name, work):
+        def app(proc):
+            proc.compute(work)
+            yield from proc.barrier(5, 3)
+            times[name] = proc.process.vtime
+            yield from proc.exit(0)
+        return app
+
+    engine4.spawn("fast", make("fast", 100))
+    engine4.spawn("mid", make("mid", 10_000))
+    engine4.spawn("slow", make("slow", 1_000_000))
+    engine4.run()
+    assert times["fast"] >= 1_000_000
+    assert times["mid"] >= 1_000_000
+
+
+def test_barrier_multiple_episodes(engine2):
+    counts = []
+
+    def app(proc):
+        for i in range(4):
+            proc.compute(100 * (1 + proc.process.pid))
+            yield from proc.barrier(2, 2)
+            counts.append(i)
+        yield from proc.exit(0)
+
+    engine2.spawn("a", app)
+    engine2.spawn("b", app)
+    engine2.run()
+    assert engine2.barriers.episodes(2) == 4
+    assert sorted(counts) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_lock_traffic_hits_coherence(engine2):
+    """Lock acquisition generates RMW traffic on the lock line."""
+    def app(proc):
+        for _ in range(10):
+            yield from proc.lock(7)
+            yield from proc.unlock(7)
+        yield from proc.exit(0)
+
+    engine2.spawn("a", app)
+    engine2.spawn("b", app)
+    engine2.run()
+    counters = engine2.memsys.protocol.counters
+    assert counters.get("write_miss", 0) + counters.get("invalidation", 0) > 0
+
+
+def test_fifo_lock_ordering(engine4):
+    """Waiters acquire in arrival order."""
+    grants = []
+
+    def make(name, delay):
+        def app(proc):
+            proc.compute(delay)
+            yield from proc.lock(9)
+            grants.append(name)
+            proc.compute(500_000)
+            yield from proc.advance()
+            yield from proc.unlock(9)
+            yield from proc.exit(0)
+        return app
+
+    engine4.spawn("first", make("first", 10))
+    engine4.spawn("second", make("second", 2000))
+    engine4.spawn("third", make("third", 4000))
+    engine4.run()
+    assert grants == ["first", "second", "third"]

@@ -1,0 +1,55 @@
+"""Event vocabulary tests."""
+
+from repro.core import events as ev
+
+
+def test_memory_kinds_set():
+    assert ev.EvKind.READ in ev.MEMORY_KINDS
+    assert ev.EvKind.WRITE in ev.MEMORY_KINDS
+    assert ev.EvKind.RMW in ev.MEMORY_KINDS
+    assert ev.EvKind.SYSCALL not in ev.MEMORY_KINDS
+
+
+def test_read_constructor():
+    e = ev.read(0x1000, 8)
+    assert e.kind == ev.EvKind.READ
+    assert e.addr == 0x1000
+    assert e.size == 8
+    assert e.mode == "user"
+    assert not e.kernel
+
+
+def test_syscall_constructor_packs_args():
+    e = ev.syscall("open", "/x", 2)
+    assert e.kind == ev.EvKind.SYSCALL
+    assert e.arg == ("open", ("/x", 2))
+
+
+def test_barrier_constructor():
+    e = ev.barrier(3, 4)
+    assert e.arg == (3, 4)
+
+
+def test_exit_event_status():
+    assert ev.exit_event(7).arg == 7
+
+
+def test_syscall_result_ok():
+    assert ev.SyscallResult(5).ok
+    assert not ev.SyscallResult(-1, ev.ENOENT).ok
+
+
+def test_syscall_result_data_payload():
+    r = ev.SyscallResult(3, data=b"abc")
+    assert r.data == b"abc"
+
+
+def test_errno_names_cover_values():
+    assert ev.ERRNO_NAMES[ev.ENOENT] == "ENOENT"
+    assert ev.ERRNO_NAMES[ev.EBADF] == "EBADF"
+
+
+def test_event_defaults():
+    e = ev.advance()
+    assert e.addr == 0 and e.size == 0 and e.arg is None
+    assert e.time == 0 and e.pid == -1

@@ -1,0 +1,106 @@
+"""Memory-system integration tests (translation + caches + protocol)."""
+
+import pytest
+
+from repro.core.config import complex_backend, simple_backend
+from repro.core.stats import StatsRegistry
+from repro.mem.cache import LineState
+from repro.mem.hierarchy import MemorySystem
+
+
+def make(cfg=None, minor=400):
+    cfg = cfg or complex_backend(num_cpus=2)
+    ms = MemorySystem(cfg, StatsRegistry(cfg.num_cpus),
+                      minor_fault_cycles=minor)
+    ms.vmm.new_space(1)
+    ms.vmm.map_anon(1, 0x10000, 1 << 24)
+    return ms
+
+
+def test_minor_fault_charged_once():
+    ms = make()
+    lat1, _ = ms.access(1, 0x20000, 4, False, 0, 0)
+    # same page, new line, far enough in the future that no resource
+    # occupancy from the first access lingers
+    lat2, _ = ms.access(1, 0x20040, 4, False, 0, 10_000)
+    assert lat1 - lat2 >= 400 - 60  # first access paid the fault
+
+
+def test_l1_hit_is_l1_latency():
+    ms = make()
+    ms.access(1, 0x20000, 4, False, 0, 0)
+    lat, _ = ms.access(1, 0x20000, 4, False, 0, 50)
+    assert lat == ms.l1s[0].cfg.latency
+
+
+def test_l2_hit_between_l1_and_miss():
+    ms = make()
+    ms.access(1, 0x20000, 4, False, 0, 0)
+    # evict from tiny L1 by touching many lines in the same set family
+    for n in range(1, 40):
+        ms.access(1, 0x20000 + n * 32 * ms.l1s[0].n_sets, 4, False, 0, n)
+    # if the line left L1 but not L2, latency == l1+l2
+    line = ms.vmm.translate(1, 0x20000, False, 0)[0] >> 5
+    if not ms.l1s[0].contains(line) and ms.l2s[0].contains(line):
+        lat, _ = ms.access(1, 0x20000, 4, False, 0, 1000)
+        assert lat == ms.l1s[0].cfg.latency + ms.l2s[0].cfg.latency
+
+
+def test_write_after_read_upgrades():
+    ms = make(complex_backend(num_cpus=2))
+    ms.access(1, 0x20000, 4, False, 0, 0)
+    ms.access(1, 0x20000, 4, False, 1, 10)   # now SHARED in both
+    ms.access(1, 0x20000, 4, True, 0, 1000)
+    line = ms.vmm.translate(1, 0x20000, False, 0)[0] >> 5
+    assert ms.l1s[0].probe(line) == LineState.MODIFIED
+    assert ms.l1s[1].probe(line) is None
+
+
+def test_multi_line_access_touches_all_lines():
+    ms = make()
+    # a 100-byte access spanning 4 lines
+    ms.access(1, 0x20010, 100, False, 0, 0)
+    paddr = ms.vmm.translate(1, 0x20010, False, 0)[0]
+    first = paddr >> 5
+    for ln in range(first, ((paddr + 99) >> 5) + 1):
+        assert ms.l1s[0].contains(ln)
+
+
+def test_atomic_adds_penalty():
+    ms = make()
+    ms.access(1, 0x20000, 4, False, 0, 0)
+    plain, _ = ms.access(1, 0x20000, 4, False, 0, 100)
+    atomic, _ = ms.access(1, 0x20000, 4, False, 0, 200, atomic=True)
+    assert atomic == plain + 4
+
+
+def test_simple_backend_has_no_l2():
+    ms = make(simple_backend(num_cpus=1))
+    assert ms.l2s is None
+    ms.access(1, 0x20000, 4, True, 0, 0)
+    line = ms.vmm.translate(1, 0x20000, False, 0)[0] >> 5
+    assert ms.l1s[0].probe(line) == LineState.MODIFIED
+
+
+def test_major_fault_reported_not_charged():
+    ms = make()
+    ms.vmm.map_file(1, 0x9000000, 8192, file_key=5)
+    lat, fault = ms.access(1, 0x9000000, 4, False, 0, 0)
+    assert fault is not None and lat == 0
+    ms.vmm.install_file_page(5, 0, 0)
+    lat, fault = ms.access(1, 0x9000000, 4, False, 0, 10)
+    assert fault is None and lat > 0
+
+
+def test_cache_summary_shape():
+    ms = make()
+    ms.access(1, 0x20000, 4, False, 0, 0)
+    s = ms.cache_summary()
+    assert "l1" in s and "l2" in s and "protocol" in s
+    assert s["minor_faults"] == 1
+
+
+def test_kernel_addresses_translate():
+    ms = make()
+    lat, fault = ms.access(1, 0xC100_0000, 4, True, 0, 0)
+    assert fault is None and lat > 0

@@ -1,0 +1,139 @@
+"""Host-parallel engine tests: determinism vs inline mode, syscalls,
+locks across worker processes, host model."""
+
+import pytest
+
+from repro import Engine, complex_backend, simple_backend
+from repro.harness.hostmodel import HostCosts, measure_context_switch, predict
+from repro.host import ParallelEngine, WorkerSpec
+from repro.isa import Interpreter, Machine, assemble
+from repro.isa.memory import DataMemory
+
+SCAN = """
+    li r1, 0
+    li r2, 20000
+    li r10, 0x100000
+    li r6, 0
+loop:
+    loadx r3, r10, r1, 4
+    mul r4, r3, r3
+    add r6, r6, r4
+    addi r1, r1, 64
+    blt r1, r2, loop
+    li r3, 0
+    halt
+"""
+
+SYS = """
+    syscall getpid, 0
+    mov r5, r3
+    li r1, 0
+    li r10, 0x100000
+    storex r5, r10, r1, 4
+    li r3, 0
+    halt
+"""
+
+LOCKY = """
+    li r5, 1
+    li r1, 0
+    li r2, 10
+    li r10, 0x100000
+loop:
+    lock r5
+    loadx r3, r10, r1, 4
+    addi r3, r3, 1
+    storex r3, r10, r1, 4
+    unlock r5
+    addi r1, r1, 1
+    blt r1, r2, loop
+    li r3, 0
+    halt
+"""
+
+
+def run_inline(progs, cpus=2):
+    eng = Engine(complex_backend(num_cpus=cpus))
+    for i, src in enumerate(progs):
+        dm = DataMemory()
+        dm.map_segment(0x100000, 1 << 22)
+        eng.spawn_interpreter(f"w{i}", Interpreter(assemble(src, f"w{i}"),
+                                                   Machine(dm)))
+    st = eng.run()
+    return st.end_cycle, eng.events_processed, st
+
+
+def run_parallel(progs, cpus=2):
+    eng = ParallelEngine(complex_backend(num_cpus=cpus))
+    with eng:
+        for i, src in enumerate(progs):
+            eng.spawn_worker(WorkerSpec(f"w{i}", src))
+        st = eng.run()
+    return st.end_cycle, eng.events_processed, st
+
+
+def test_parallel_matches_inline_single():
+    ci, ei, _ = run_inline([SCAN])
+    cp, ep, _ = run_parallel([SCAN])
+    assert (ci, ei) == (cp, ep)
+
+
+def test_parallel_matches_inline_multi():
+    ci, ei, _ = run_inline([SCAN, SCAN, SCAN], cpus=3)
+    cp, ep, _ = run_parallel([SCAN, SCAN, SCAN], cpus=3)
+    assert (ci, ei) == (cp, ep)
+
+
+def test_parallel_syscalls_work():
+    eng = ParallelEngine(complex_backend(num_cpus=1))
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("w", SYS))
+        eng.run()
+    assert p.exit_status == 0
+
+
+def test_parallel_locks_across_workers():
+    ci, ei, sti = run_inline([LOCKY, LOCKY], cpus=2)
+    cp, ep, stp = run_parallel([LOCKY, LOCKY], cpus=2)
+    assert ci == cp
+    assert sti.get("lock_contention") == stp.get("lock_contention")
+
+
+def test_parallel_time_breakdown_matches_inline():
+    _, _, sti = run_inline([SCAN, SCAN], cpus=2)
+    _, _, stp = run_parallel([SCAN, SCAN], cpus=2)
+    assert sti.total_cpu().user == stp.total_cpu().user
+    assert sti.total_cpu().kernel == stp.total_cpu().kernel
+
+
+def test_shutdown_idempotent():
+    eng = ParallelEngine(simple_backend(num_cpus=1))
+    eng.spawn_worker(WorkerSpec("w", SCAN))
+    eng.run()
+    eng.shutdown()
+    eng.shutdown()
+
+
+def test_worker_spec_defaults():
+    ws = WorkerSpec("x", SCAN)
+    assert ws.segments and ws.regs == {}
+
+
+class TestHostModel:
+    def test_context_switch_measured_positive(self):
+        t = measure_context_switch(iterations=200)
+        assert 0 < t < 0.01
+
+    def test_prediction_shapes(self):
+        costs = HostCosts(t_fe=20e-6, t_be=10e-6, t_cs=30e-6)
+        p = predict("complex", events=1000, raw_seconds=0.001, costs=costs,
+                    host_cpus=4, frontends=4)
+        assert p.uni_seconds > p.smp_seconds
+        assert p.smp_speedup > 2        # the Table 3 claim with these costs
+        assert p.uni_slowdown > p.smp_slowdown
+
+    def test_single_cpu_host_no_speedup_from_frontends(self):
+        costs = HostCosts(t_fe=10e-6, t_be=10e-6, t_cs=20e-6)
+        p2 = predict("x", 1000, 0.001, costs, host_cpus=2, frontends=4)
+        p8 = predict("x", 1000, 0.001, costs, host_cpus=8, frontends=4)
+        assert p8.smp_seconds <= p2.smp_seconds

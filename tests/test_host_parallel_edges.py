@@ -1,0 +1,97 @@
+"""ParallelEngine edge cases: tiny programs, mixed workloads, many workers,
+mixed inline + parallel frontends."""
+
+import pytest
+
+from repro import complex_backend, simple_backend
+from repro.host import ParallelEngine, WorkerSpec
+
+TRIVIAL = """
+    li r3, 7
+    halt
+"""
+
+ONE_REF = """
+    li r10, 0x100000
+    li r1, 1
+    storex r1, r10, r1, 4
+    li r3, 0
+    halt
+"""
+
+SLEEPY = """
+    li r3, 50000
+    syscall nanosleep, 1
+    li r3, 0
+    halt
+"""
+
+
+def test_trivial_program_exits_with_status():
+    eng = ParallelEngine(simple_backend(num_cpus=1))
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("t", TRIVIAL))
+        eng.run()
+    assert p.exit_status == 7
+
+
+def test_single_reference_program():
+    eng = ParallelEngine(simple_backend(num_cpus=1))
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("t", ONE_REF))
+        eng.run()
+    assert p.exit_status == 0
+    assert eng.events_processed >= 1
+
+
+def test_blocking_syscall_from_worker():
+    eng = ParallelEngine(complex_backend(num_cpus=1))
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("t", SLEEPY))
+        stats = eng.run()
+    assert p.exit_status == 0
+    assert stats.end_cycle >= 50_000
+
+
+def test_more_workers_than_cpus():
+    eng = ParallelEngine(simple_backend(num_cpus=2))
+    with eng:
+        procs = [eng.spawn_worker(WorkerSpec(f"w{i}", ONE_REF))
+                 for i in range(5)]
+        eng.run()
+    assert all(p.exit_status == 0 for p in procs)
+
+
+def test_mixed_inline_and_parallel_frontends():
+    """Parallel workers and ordinary coroutine frontends coexist."""
+    eng = ParallelEngine(complex_backend(num_cpus=2))
+    done = []
+
+    def inline_app(proc):
+        for _ in range(20):
+            proc.compute(500)
+            yield from proc.store(0x30_000)
+        done.append("inline")
+        yield from proc.exit(0)
+
+    with eng:
+        w = eng.spawn_worker(WorkerSpec("w", ONE_REF))
+        eng.spawn("inline", inline_app)
+        eng.run()
+    assert w.exit_status == 0
+    assert done == ["inline"]
+
+
+def test_custom_segments_and_registers():
+    prog = """
+        li r10, 0x400000
+        load r3, r10, 0, 4
+        add r3, r3, r7
+        halt
+    """
+    eng = ParallelEngine(simple_backend(num_cpus=1))
+    with eng:
+        p = eng.spawn_worker(WorkerSpec(
+            "t", prog, segments=[(0x400000, 4096)], regs={7: 35}))
+        eng.run()
+    assert p.exit_status == 35   # 0 (fresh memory) + 35

@@ -1,0 +1,287 @@
+"""Virtual ISA tests: assembler, programs, timing, interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import FrontendError, InstrumentationError
+from repro.core.events import EvKind, SyscallResult
+from repro.isa import (Instr, Machine, Op, Program, assemble, block_cost,
+                       cost_of, Interpreter)
+from repro.isa.instructions import BLOCK_ENDERS, MEM_OPS
+from repro.isa.memory import DataMemory
+
+
+def drive(prog, mem=None, reply=1):
+    """Run an instrumented program collecting its events."""
+    m = Machine(mem if mem is not None else DataMemory())
+    gen = Interpreter(prog, m).run()
+    events = []
+    try:
+        evt = next(gen)
+        while True:
+            events.append(evt)
+            if evt.kind == EvKind.SYSCALL:
+                evt = gen.send(SyscallResult(42))
+            else:
+                evt = gen.send(reply)
+    except StopIteration as s:
+        return events, s.value, m
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        p = assemble("li r1, 5\nhalt")
+        assert p.n_instrs == 2
+        assert p.blocks[0].label == "__start"
+
+    def test_labels_resolve(self):
+        p = assemble("""
+            li r1, 0
+        top:
+            addi r1, r1, 1
+            blt r1, r2, top
+            halt
+        """)
+        blt = p.block_of("top").instrs[-1]
+        assert blt.op == Op.BLT
+        assert blt.c == p.labels["top"]
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(InstrumentationError):
+            assemble("b nowhere\nhalt")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(InstrumentationError):
+            assemble("x:\nnop\nx:\nhalt")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(InstrumentationError):
+            assemble("frobnicate r1\nhalt")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(InstrumentationError):
+            assemble("li r32, 1\nhalt")
+
+    def test_comments_and_blank_lines(self):
+        p = assemble("""
+            ; comment
+            li r1, 1   # trailing
+            halt
+        """)
+        assert p.n_instrs == 2
+
+    def test_hex_immediates(self):
+        p = assemble("li r1, 0x10\nhalt")
+        assert p.blocks[0].instrs[0].b == 16
+
+    def test_blocks_split_after_branches(self):
+        p = assemble("""
+            li r1, 0
+            b skip
+            nop
+        skip:
+            halt
+        """)
+        # __start(li,b) | auto(nop) | skip(halt)
+        assert len(p.blocks) == 3
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(InstrumentationError):
+            assemble("; nothing here")
+
+    def test_syscall_syntax(self):
+        p = assemble("syscall getpid, 0\nhalt")
+        ins = p.blocks[0].instrs[0]
+        assert ins.op == Op.SYSCALL and ins.a == "getpid" and ins.b == 0
+
+
+class TestTiming:
+    def test_simple_ops_single_cycle(self):
+        assert cost_of(Instr(Op.ADD)) == 1
+        assert cost_of(Instr(Op.LI)) == 1
+
+    def test_mul_div_latencies(self):
+        assert cost_of(Instr(Op.MUL)) == 4
+        assert cost_of(Instr(Op.DIV)) == 20
+
+    def test_fp_latencies(self):
+        assert cost_of(Instr(Op.FADD)) == 3
+        assert cost_of(Instr(Op.FDIV)) == 18
+
+    def test_block_cost_is_sum(self):
+        instrs = [Instr(Op.ADD), Instr(Op.MUL), Instr(Op.LOAD)]
+        assert block_cost(instrs) == 1 + 4 + 1
+
+    def test_every_opcode_has_a_cost(self):
+        from repro.isa.timing import COSTS
+        for op in Op:
+            assert op in COSTS, op
+
+
+class TestInterpreter:
+    def test_arithmetic(self):
+        p = assemble("""
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            halt
+        """)
+        _ev, rc, m = drive(p)
+        assert m.regs[3] == 42
+
+    def test_loop_and_memory(self):
+        p = assemble("""
+            li r1, 0
+            li r2, 16
+            li r10, 0x1000
+        loop:
+            storex r1, r10, r1, 4
+            addi r1, r1, 4
+            blt r1, r2, loop
+            li r3, 0
+            halt
+        """)
+        dm = DataMemory()
+        dm.map_segment(0x1000, 4096)
+        events, rc, m = drive(p, dm)
+        stores = [e for e in events if e.kind == EvKind.WRITE]
+        assert len(stores) == 4
+        assert dm.load(0x1004) == 4
+
+    def test_call_and_return(self):
+        p = assemble("""
+            li r1, 1
+            bl fn
+            addi r1, r1, 100
+            halt
+        fn:
+            addi r1, r1, 10
+            ret
+        """)
+        _ev, _rc, m = drive(p)
+        assert m.regs[1] == 111
+
+    def test_ret_without_call_raises(self):
+        p = assemble("ret")
+        with pytest.raises(FrontendError):
+            drive(p)
+
+    def test_syscall_result_lands_in_r3_r4(self):
+        p = assemble("""
+            syscall getpid, 0
+            halt
+        """)
+        events, _rc, m = drive(p)
+        assert m.regs[3] == 42 and m.regs[4] == 0
+        assert events[0].kind == EvKind.SYSCALL
+
+    def test_simoff_suppresses_events_and_time(self):
+        body = """
+            li r10, 0x1000
+            {sw}
+            load r1, r10, 0, 4
+            store r1, r10, 4, 4
+            simon
+            load r2, r10, 0, 4
+            halt
+        """
+        dm1 = DataMemory(); dm1.map_segment(0x1000, 64)
+        on, _, m_on = drive(assemble(body.format(sw="nop")), dm1)
+        dm2 = DataMemory(); dm2.map_segment(0x1000, 64)
+        off, _, m_off = drive(assemble(body.format(sw="simoff")), dm2)
+        assert len(off) == len(on) - 2
+        # functional behaviour unchanged
+        assert m_off.regs[2] == m_on.regs[2]
+
+    def test_lwarx_stwcx_success(self):
+        p = assemble("""
+            li r10, 0x1000
+            li r1, 9
+            lwarx r2, r10
+            mov r2, r1
+            stwcx r2, r10
+            halt
+        """)
+        dm = DataMemory(); dm.map_segment(0x1000, 64)
+        _ev, _rc, m = drive(p, dm)
+        assert m.regs[2] == 1          # store-conditional succeeded
+        assert dm.load(0x1000) == 9
+
+    def test_raw_and_instrumented_agree(self):
+        src = """
+            li r1, 0
+            li r2, 100
+            li r4, 0
+        loop:
+            add r4, r4, r1
+            addi r1, r1, 1
+            blt r1, r2, loop
+            mov r3, r4
+            halt
+        """
+        m1 = Machine()
+        rc1 = Interpreter(assemble(src), m1).run_raw()
+        _ev, rc2, m2 = drive(assemble(src))
+        assert rc1 == rc2 == sum(range(100))
+        assert m1.instret == m2.instret
+
+    def test_instrumented_pending_counts_block_costs(self):
+        p = assemble("""
+            li r1, 1
+            li r2, 2
+            add r3, r1, r2
+            halt
+        """)
+        _ev, _rc, m = drive(p)
+        assert m.pending == 3   # 3 single-cycle instrs + free halt
+
+    def test_max_instrs_guard(self):
+        p = assemble("""
+        spin:
+            b spin
+        """)
+        with pytest.raises(FrontendError):
+            Interpreter(p, Machine()).run_raw(max_instrs=1000)
+
+
+class TestDataMemory:
+    def test_unmapped_access_raises(self):
+        from repro.core.errors import MemoryError_
+        dm = DataMemory()
+        with pytest.raises(MemoryError_):
+            dm.load(0x5000)
+
+    def test_overlap_rejected(self):
+        from repro.core.errors import MemoryError_
+        dm = DataMemory()
+        dm.map_segment(0x1000, 0x1000)
+        with pytest.raises(MemoryError_):
+            dm.map_segment(0x1800, 0x1000)
+
+    def test_shared_store_sees_peer_writes(self):
+        dm1 = DataMemory("a")
+        dm2 = DataMemory("b")
+        store = dm1.map_segment(0x1000, 256)
+        dm2.map_segment(0x4000, 256, store)
+        dm1.store(0x1010, 99)
+        assert dm2.load(0x4010) == 99
+
+    def test_unmap(self):
+        from repro.core.errors import MemoryError_
+        dm = DataMemory()
+        dm.map_segment(0x1000, 256)
+        dm.unmap_segment(0x1000)
+        with pytest.raises(MemoryError_):
+            dm.load(0x1000)
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 1 << 30)),
+                    max_size=40))
+    def test_last_write_wins(self, writes):
+        dm = DataMemory()
+        dm.map_segment(0, 256)
+        expect = {}
+        for off, val in writes:
+            dm.store(off, val)
+            expect[off] = val
+        for off, val in expect.items():
+            assert dm.load(off) == val

@@ -1,0 +1,155 @@
+"""OS-server registry, extensibility (§3.1) and Sys helper tests."""
+
+import pytest
+
+from repro import Engine, complex_backend
+from repro.core import events as ev
+from repro.core.errors import OSError_
+from repro.osim import kmem
+from repro.osim.server import (FdEntry, OSServer, Sys, SYSCALL_ENTRY_CYCLES,
+                               syscall_handler)
+
+
+class TestRegistry:
+    def test_builtin_calls_registered(self, engine2):
+        names = engine2.os_server.syscall_names()
+        for n in ('open', 'close', 'kreadv', 'kwritev', 'statx', 'mmap',
+                  'munmap', 'msync', 'socket', 'naccept', 'select', 'send',
+                  'recv', 'connect', 'shmget', 'shmat', 'shmdt', 'getpid',
+                  'nanosleep', 'sigaction', 'kill'):
+            assert n in names
+
+    def test_categories_valid(self, engine2):
+        for name in engine2.os_server.syscall_names():
+            cat, fn = engine2.os_server.lookup(name)
+            assert cat in (1, 2) and callable(fn)
+
+    def test_register_new_category2_service(self, engine2):
+        """§3.1: 'When new OS services are to be supported, they can be
+        added to the existing OS server'."""
+        def sys_double(engine, proc, x):
+            return ev.SyscallResult(2 * x), 50
+
+        engine2.os_server.register("double", 2, sys_double)
+        out = {}
+
+        def app(proc):
+            out["r"] = yield from proc.call("double", 21)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["r"].value == 42
+
+    def test_register_new_category1_service(self, engine2):
+        def sys_touchk(sys: Sys, n: int):
+            sys.entry()
+            for i in range(n):
+                yield from sys.k.store(kmem.PROC_TABLE + 64 * i)
+            return sys.result(n)
+
+        engine2.os_server.register("touchk", 1, sys_touchk)
+        out = {}
+
+        def app(proc):
+            out["r"] = yield from proc.call("touchk", 5)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        stats = engine2.run()
+        assert out["r"].value == 5
+        assert stats.syscall_cycles["touchk"] > 0
+
+    def test_replace_existing_service(self, engine2):
+        """Stub redirection (§4 step 3): a renamed/replacement service."""
+        def fake_getpid(engine, proc):
+            return ev.SyscallResult(-99), 10
+
+        engine2.os_server.register("getpid", 2, fake_getpid)
+        out = {}
+
+        def app(proc):
+            out["r"] = yield from proc.call("getpid")
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["r"].value == -99
+
+    def test_bad_category_rejected(self, engine2):
+        with pytest.raises(OSError_):
+            engine2.os_server.register("x", 3, lambda: None)
+
+
+class TestFdTable:
+    def test_alloc_starts_at_3(self, engine2):
+        srv = engine2.os_server
+        srv._fdtables.setdefault(99, {})
+        fd = srv.fd_alloc(99, FdEntry("file", ino=1))
+        assert fd == 3
+
+    def test_alloc_fills_gaps(self, engine2):
+        srv = engine2.os_server
+        srv._fdtables.setdefault(99, {})
+        a = srv.fd_alloc(99, FdEntry("file", ino=1))
+        b = srv.fd_alloc(99, FdEntry("file", ino=2))
+        srv.fd_close(99, a)
+        c = srv.fd_alloc(99, FdEntry("file", ino=3))
+        assert c == a
+
+    def test_entry_lookup_and_close(self, engine2):
+        srv = engine2.os_server
+        srv._fdtables.setdefault(99, {})
+        fd = srv.fd_alloc(99, FdEntry("socket", sid=7))
+        assert srv.fd_entry(99, fd).sid == 7
+        assert srv.fd_close(99, fd).sid == 7
+        assert srv.fd_entry(99, fd) is None
+
+
+class TestKmem:
+    def test_regions_disjoint(self):
+        spots = [kmem.buf_hdr_addr(0), kmem.buf_data_addr(0, 4096),
+                 kmem.mbuf_addr(0), kmem.socket_cb_addr(0),
+                 kmem.kstack_addr(0), kmem.file_entry_addr(0)]
+        assert len(set(a >> 24 for a in spots)) == len(spots)
+
+    def test_all_above_kernel_base(self):
+        from repro.mem.pagetable import KERNEL_BASE
+        for a in (kmem.buf_hdr_addr(10), kmem.buf_data_addr(3, 4096),
+                  kmem.mbuf_addr(77), kmem.socket_cb_addr(5),
+                  kmem.kstack_addr(2), kmem.file_entry_addr(123)):
+            assert a >= KERNEL_BASE
+
+    def test_slots_distinct(self):
+        assert kmem.buf_hdr_addr(1) != kmem.buf_hdr_addr(2)
+        assert kmem.kstack_addr(1) - kmem.kstack_addr(0) == kmem.KSTACK_SIZE
+
+
+class TestSysContext:
+    def test_entry_charges_pending(self, engine2):
+        def app(proc):
+            sys = engine2.os_server.context_for(proc.process)
+            before = proc.process.clock.pending
+            sys.entry()
+            assert proc.process.clock.pending - before == SYSCALL_ENTRY_CYCLES
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+
+    def test_copy_block_event_count(self, engine2):
+        counted = {}
+
+        def app(proc):
+            sys = engine2.os_server.context_for(proc.process)
+            before = engine2.events_processed
+            yield from sys.copy_block(kmem.BUFCACHE_DATA, 0x100000, 1024)
+            counted["n"] = None
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        # 1024/32-byte lines = 32 lines, read+write each = 64 memory events
+        line = engine2.cfg.backend.l1.line_size
+        assert engine2.stats.counters == engine2.stats.counters  # smoke
+        assert 1024 // line * 2 <= engine2.events_processed

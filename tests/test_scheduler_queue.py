@@ -1,0 +1,103 @@
+"""Global event scheduler (task queue) tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SchedulerError
+from repro.core.scheduler import GlobalScheduler
+
+
+def test_schedule_and_pop_in_order():
+    g = GlobalScheduler()
+    fired = []
+    g.schedule_at(30, fired.append, "c")
+    g.schedule_at(10, fired.append, "a")
+    g.schedule_at(20, fired.append, "b")
+    while (t := g.pop_due(100)) is not None:
+        g.run_task(t)
+    assert fired == ["a", "b", "c"]
+    assert g.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    g = GlobalScheduler()
+    fired = []
+    for tag in "xyz":
+        g.schedule_at(5, fired.append, tag)
+    while (t := g.pop_due(10)) is not None:
+        g.run_task(t)
+    assert fired == ["x", "y", "z"]
+
+
+def test_pop_due_respects_horizon():
+    g = GlobalScheduler()
+    g.schedule_at(50, lambda: None)
+    assert g.pop_due(49) is None
+    assert g.pop_due(50) is not None
+
+
+def test_cannot_schedule_in_the_past():
+    g = GlobalScheduler()
+    g.advance_to(100)
+    with pytest.raises(SchedulerError):
+        g.schedule_at(99, lambda: None)
+
+
+def test_negative_delay_rejected():
+    g = GlobalScheduler()
+    with pytest.raises(SchedulerError):
+        g.schedule_after(-1, lambda: None)
+
+
+def test_cancellation_skips_task():
+    g = GlobalScheduler()
+    fired = []
+    t1 = g.schedule_at(10, fired.append, 1)
+    g.schedule_at(20, fired.append, 2)
+    t1.cancel()
+    while (t := g.pop_due(100)) is not None:
+        g.run_task(t)
+    assert fired == [2]
+
+
+def test_next_time_skips_cancelled_head():
+    g = GlobalScheduler()
+    t1 = g.schedule_at(10, lambda: None)
+    g.schedule_at(20, lambda: None)
+    t1.cancel()
+    assert g.next_time() == 20
+
+
+def test_tasks_can_spawn_tasks():
+    g = GlobalScheduler()
+    fired = []
+
+    def parent():
+        fired.append("parent")
+        g.schedule_after(5, lambda: fired.append("child"))
+
+    g.schedule_at(10, parent)
+    while (t := g.pop_due(1000)) is not None:
+        g.run_task(t)
+    assert fired == ["parent", "child"]
+    assert g.now == 15
+
+
+def test_advance_to_never_goes_backwards():
+    g = GlobalScheduler()
+    g.advance_to(100)
+    g.advance_to(50)
+    assert g.now == 100
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=60))
+def test_dispatch_order_is_sorted(times):
+    g = GlobalScheduler()
+    out = []
+    for t in times:
+        g.schedule_at(t, out.append, t)
+    while (task := g.pop_due(1 << 60)) is not None:
+        g.run_task(task)
+    assert out == sorted(times)
+    assert g.dispatched == len(times)

@@ -1,0 +1,108 @@
+"""Lock / barrier manager unit tests (engine integration lives in
+test_engine_sync.py)."""
+
+import pytest
+
+from repro.core.errors import CompassError
+from repro.core.frontend import SimProcess
+from repro.core.sync import (BarrierManager, LockManager, lock_address,
+                             SYNC_REGION_BASE)
+
+
+def procs(n):
+    return [SimProcess(f"p{i}") for i in range(n)]
+
+
+class TestLockManager:
+    def test_uncontended_acquire(self):
+        lm = LockManager()
+        p, = procs(1)
+        assert lm.acquire(1, p)
+        assert lm.holder_of(1) == p.pid
+
+    def test_contended_queues_fifo(self):
+        lm = LockManager()
+        a, b, c = procs(3)
+        assert lm.acquire(1, a)
+        assert not lm.acquire(1, b)
+        assert not lm.acquire(1, c)
+        nxt = lm.release(1, a)
+        assert nxt is b
+        assert lm.holder_of(1) == b.pid
+        assert lm.release(1, b) is c
+
+    def test_release_not_held_raises(self):
+        lm = LockManager()
+        a, b = procs(2)
+        lm.acquire(1, a)
+        with pytest.raises(CompassError):
+            lm.release(1, b)
+
+    def test_release_never_acquired_raises(self):
+        lm = LockManager()
+        a, = procs(1)
+        with pytest.raises(CompassError):
+            lm.release(9, a)
+
+    def test_independent_locks(self):
+        lm = LockManager()
+        a, b = procs(2)
+        assert lm.acquire(1, a)
+        assert lm.acquire(2, b)
+
+    def test_stats(self):
+        lm = LockManager()
+        a, b = procs(2)
+        lm.acquire(1, a)
+        lm.acquire(1, b)
+        acq, contended = lm.stats()[1]
+        assert acq == 1 and contended == 1
+
+    def test_lock_addresses_line_spaced(self):
+        assert lock_address(0) == SYNC_REGION_BASE
+        assert lock_address(1) - lock_address(0) >= 64
+
+
+class TestBarrierManager:
+    def test_last_arrival_releases(self):
+        bm = BarrierManager()
+        a, b, c = procs(3)
+        assert bm.arrive(1, 3, a) is None
+        assert bm.arrive(1, 3, b) is None
+        released = bm.arrive(1, 3, c)
+        assert released == [a, b]
+        assert bm.episodes(1) == 1
+
+    def test_reusable_across_episodes(self):
+        bm = BarrierManager()
+        a, b = procs(2)
+        assert bm.arrive(1, 2, a) is None
+        assert bm.arrive(1, 2, b) == [a]
+        assert bm.arrive(1, 2, b) is None
+        assert bm.arrive(1, 2, a) == [b]
+        assert bm.episodes(1) == 2
+
+    def test_count_one_releases_immediately(self):
+        bm = BarrierManager()
+        a, = procs(1)
+        assert bm.arrive(5, 1, a) == []
+
+    def test_overflow_raises(self):
+        bm = BarrierManager()
+        a, b = procs(2)
+        bm.arrive(1, 1, a)
+        # next arrival opens a new episode (count 1 releases immediately)
+        assert bm.arrive(1, 1, b) == []
+
+    def test_bad_count_raises(self):
+        bm = BarrierManager()
+        a, = procs(1)
+        with pytest.raises(CompassError):
+            bm.arrive(1, 0, a)
+
+    def test_waiting_query(self):
+        bm = BarrierManager()
+        a, b = procs(2)
+        bm.arrive(1, 3, a)
+        bm.arrive(1, 3, b)
+        assert bm.waiting(1) == 2

@@ -1,0 +1,227 @@
+"""File-system syscall integration tests (through the full engine)."""
+
+import pytest
+
+from repro import Engine, complex_backend
+from repro.core.events import EBADF, ENOENT, EMFILE
+
+
+BUF = 0x0100_0000
+
+
+def run(engine, body):
+    """Run one app generator through the engine; returns its locals dict."""
+    out = {}
+
+    def app(proc):
+        yield from body(proc, out)
+        yield from proc.exit(0)
+
+    p = engine.spawn("t", app)
+    engine.run()
+    assert p.exit_status == 0
+    return out
+
+
+class TestOpenClose:
+    def test_open_missing_enoent(self, engine2):
+        def body(proc, out):
+            out["r"] = yield from proc.call("open", "/missing", 0)
+        out = run(engine2, body)
+        assert out["r"].errno == ENOENT
+
+    def test_open_creat_close(self, engine2):
+        def body(proc, out):
+            r = yield from proc.call("open", "/f", 0x100)
+            out["fd"] = r.value
+            out["c"] = yield from proc.call("close", r.value)
+        out = run(engine2, body)
+        assert out["fd"] >= 3 and out["c"].ok
+        assert engine2.os_server.fs.exists("/f")
+
+    def test_close_bad_fd(self, engine2):
+        def body(proc, out):
+            out["r"] = yield from proc.call("close", 77)
+        assert run(engine2, body)["r"].errno == EBADF
+
+    def test_fd_exhaustion(self):
+        from repro import with_os
+        eng = Engine(with_os(complex_backend(num_cpus=1), max_fds=4))
+
+        def body(proc, out):
+            fds = []
+            for i in range(6):
+                r = yield from proc.call("open", f"/f{i}", 0x100)
+                fds.append(r)
+            out["fds"] = fds
+        out = run(eng, body)
+        assert any(r.errno == EMFILE for r in out["fds"])
+
+    def test_open_trunc(self, engine2):
+        engine2.os_server.fs.create("/t", b"data")
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/t", 0x200)   # O_TRUNC
+            yield from proc.call("close", r.value)
+        run(engine2, body)
+        assert engine2.os_server.fs.lookup("/t").size == 0
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, engine2):
+        def body(proc, out):
+            r = yield from proc.call("open", "/d", 0x100)
+            fd = r.value
+            yield from proc.call("kwritev", fd, BUF, 10_000, b"z" * 10_000)
+            yield from proc.call("lseek", fd, 0, 0)
+            out["rd"] = yield from proc.call("kreadv", fd, BUF, 10_000)
+        out = run(engine2, body)
+        assert out["rd"].value == 10_000
+        assert out["rd"].data == b"z" * 10_000
+
+    def test_read_at_eof_zero(self, engine2):
+        engine2.os_server.fs.create("/e", b"ab")
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/e", 0)
+            yield from proc.call("lseek", r.value, 2, 0)
+            out["rd"] = yield from proc.call("kreadv", r.value, BUF, 10)
+        assert run(engine2, body)["rd"].value == 0
+
+    def test_offset_advances(self, engine2):
+        engine2.os_server.fs.create("/o", bytes(range(100)))
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/o", 0)
+            a = yield from proc.call("kreadv", r.value, BUF, 10)
+            b = yield from proc.call("kreadv", r.value, BUF, 10)
+            out["a"], out["b"] = a.data, b.data
+        out = run(engine2, body)
+        assert out["a"] == bytes(range(10))
+        assert out["b"] == bytes(range(10, 20))
+
+    def test_lseek_whence(self, engine2):
+        engine2.os_server.fs.create("/s", b"0123456789")
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/s", 0)
+            fd = r.value
+            out["set"] = (yield from proc.call("lseek", fd, 4, 0)).value
+            out["cur"] = (yield from proc.call("lseek", fd, 2, 1)).value
+            out["end"] = (yield from proc.call("lseek", fd, -1, 2)).value
+        out = run(engine2, body)
+        assert (out["set"], out["cur"], out["end"]) == (4, 6, 9)
+
+    def test_read_blocks_on_disk_and_charges_kernel(self, engine2):
+        engine2.os_server.fs.create("/big", b"q" * 65536)
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/big", 0)
+            out["rd"] = yield from proc.call("kreadv", r.value, BUF, 65536)
+        out = run(engine2, body)
+        assert out["rd"].value == 65536
+        assert engine2.disk.requests > 0
+        assert engine2.stats.total_cpu().kernel > 0
+        assert engine2.stats.interrupt_counts.get("disk:hd0", 0) > 0
+
+    def test_second_read_hits_buffer_cache(self, engine2):
+        engine2.os_server.fs.create("/c", b"q" * 8192)
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/c", 0)
+            fd = r.value
+            yield from proc.call("kreadv", fd, BUF, 8192)
+            before = engine2.disk.requests
+            yield from proc.call("lseek", fd, 0, 0)
+            yield from proc.call("kreadv", fd, BUF, 8192)
+            out["extra_io"] = engine2.disk.requests - before
+        assert run(engine2, body)["extra_io"] == 0
+
+
+class TestSyncCalls:
+    def test_fsync_forces_dirty_blocks(self, engine2):
+        def body(proc, out):
+            r = yield from proc.call("open", "/w", 0x100)
+            fd = r.value
+            yield from proc.call("kwritev", fd, BUF, 8192, b"x" * 8192)
+            before = engine2.disk.write_bytes
+            r = yield from proc.call("fsync", fd)
+            out["ok"] = r.ok
+            out["wrote"] = engine2.disk.write_bytes - before
+        out = run(engine2, body)
+        assert out["ok"] and out["wrote"] >= 8192
+
+    def test_fsync_clean_file_free(self, engine2):
+        engine2.os_server.fs.create("/clean", b"abc")
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/clean", 0)
+            out["r"] = yield from proc.call("fsync", r.value)
+        assert run(engine2, body)["r"].ok
+
+    def test_statx(self, engine2):
+        engine2.os_server.fs.create("/st", b"12345")
+
+        def body(proc, out):
+            out["r"] = yield from proc.call("statx", "/st")
+        r = run(engine2, body)["r"]
+        assert r.ok and r.data["size"] == 5
+
+    def test_unlink(self, engine2):
+        engine2.os_server.fs.create("/u", b"")
+
+        def body(proc, out):
+            out["r"] = yield from proc.call("unlink", "/u")
+        assert run(engine2, body)["r"].ok
+        assert not engine2.os_server.fs.exists("/u")
+
+    def test_ftruncate(self, engine2):
+        engine2.os_server.fs.create("/tr", b"123456")
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/tr", 2)
+            out["r"] = yield from proc.call("ftruncate", r.value, 2)
+        assert run(engine2, body)["r"].ok
+        assert engine2.os_server.fs.lookup("/tr").size == 2
+
+
+class TestMmapFamily:
+    def test_mmap_touch_msync_munmap(self, engine2):
+        engine2.os_server.fs.create("/map", b"m" * 16384)
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/map", 2)
+            fd = r.value
+            r = yield from proc.call("mmap", fd, 16384)
+            out["base"] = r.value
+            assert r.ok
+            for pg in range(4):
+                yield from proc.load(r.value + pg * 4096)
+            out["ms"] = yield from proc.call("msync", r.value, 16384, 1)
+            out["mu"] = yield from proc.call("munmap", r.value)
+        out = run(engine2, body)
+        assert out["ms"].value == 4      # 4 resident pages written
+        assert out["mu"].ok
+        assert engine2.memsys.vmm.major_faults == 4
+
+    def test_mmap_bad_fd(self, engine2):
+        def body(proc, out):
+            out["r"] = yield from proc.call("mmap", 55, 4096)
+        assert run(engine2, body)["r"].errno == EBADF
+
+    def test_munmap_unknown_einval(self, engine2):
+        from repro.core.events import EINVAL
+
+        def body(proc, out):
+            out["r"] = yield from proc.call("munmap", 0xB0000000)
+        assert run(engine2, body)["r"].errno == EINVAL
+
+    def test_msync_untouched_pages_skipped(self, engine2):
+        engine2.os_server.fs.create("/m2", b"m" * 16384)
+
+        def body(proc, out):
+            r = yield from proc.call("open", "/m2", 2)
+            r = yield from proc.call("mmap", r.value, 16384)
+            yield from proc.load(r.value)      # touch only page 0
+            out["ms"] = yield from proc.call("msync", r.value, 16384, 1)
+        assert run(engine2, body)["ms"].value == 1

@@ -1,0 +1,331 @@
+"""Socket / IPC / misc syscall integration tests."""
+
+import pytest
+
+from repro import Engine, ProcState, complex_backend
+from repro.core.events import EBADF, ECONNREFUSED, EINVAL
+
+BUF = 0x0100_0000
+
+
+class TestSockets:
+    def test_client_server_echo(self, engine2):
+        result = {}
+
+        def server(proc):
+            r = yield from proc.call("socket")
+            sfd = r.value
+            assert (yield from proc.call("bind", sfd, 7000)).ok
+            assert (yield from proc.call("listen", sfd)).ok
+            r = yield from proc.call("naccept", sfd)
+            cfd = r.value
+            r = yield from proc.call("recv", cfd, BUF, 1024)
+            yield from proc.call("send", cfd, BUF, len(r.data), r.data)
+            yield from proc.call("close", cfd)
+            yield from proc.call("close", sfd)
+            yield from proc.exit(0)
+
+        def client(proc):
+            yield from proc.call("nanosleep", 50_000)
+            r = yield from proc.call("socket")
+            fd = r.value
+            assert (yield from proc.call("connect", fd, 7000)).ok
+            yield from proc.call("send", fd, BUF, 4, b"ping")
+            r = yield from proc.call("recv", fd, BUF, 1024)
+            result["echo"] = r.data
+            yield from proc.call("close", fd)
+            yield from proc.exit(0)
+
+        engine2.spawn("srv", server)
+        engine2.spawn("cli", client)
+        engine2.run()
+        assert result["echo"] == b"ping"
+
+    def test_connect_refused(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("socket")
+            out["r"] = yield from proc.call("connect", r.value, 9999)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["r"].errno == ECONNREFUSED
+
+    def test_send_on_non_socket(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 0x100)
+            out["r"] = yield from proc.call("send", r.value, BUF, 4)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["r"].errno == EBADF
+
+    def test_select_blocks_until_readable(self, engine2):
+        out = {}
+
+        def server(proc):
+            r = yield from proc.call("socket")
+            sfd = r.value
+            yield from proc.call("bind", sfd, 7100)
+            yield from proc.call("listen", sfd)
+            r = yield from proc.call("select", [sfd])
+            out["ready"] = r.data
+            r = yield from proc.call("naccept", sfd)
+            yield from proc.call("close", r.value)
+            yield from proc.call("close", sfd)
+            yield from proc.exit(0)
+
+        def client(proc):
+            yield from proc.call("nanosleep", 200_000)
+            r = yield from proc.call("socket")
+            yield from proc.call("connect", r.value, 7100)
+            yield from proc.call("close", r.value)
+            yield from proc.exit(0)
+
+        engine2.spawn("srv", server)
+        engine2.spawn("cli", client)
+        engine2.run()
+        assert out["ready"]           # the listen fd became readable
+
+    def test_select_timeout(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("socket")
+            sfd = r.value
+            yield from proc.call("bind", sfd, 7200)
+            yield from proc.call("listen", sfd)
+            r = yield from proc.call("select", [sfd], 100_000)
+            out["n"] = r.value
+            yield from proc.call("close", sfd)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["n"] == 0
+
+    def test_select_poll_mode(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("socket")
+            sfd = r.value
+            yield from proc.call("bind", sfd, 7300)
+            yield from proc.call("listen", sfd)
+            r = yield from proc.call("select", [sfd], 0)
+            out["n"] = r.value
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["n"] == 0
+
+    def test_kreadv_kwritev_work_on_sockets(self, engine2):
+        """Web servers call kreadv/kwritev on connections (Table 1)."""
+        out = {}
+
+        def server(proc):
+            r = yield from proc.call("socket")
+            sfd = r.value
+            yield from proc.call("bind", sfd, 7400)
+            yield from proc.call("listen", sfd)
+            r = yield from proc.call("naccept", sfd)
+            cfd = r.value
+            r = yield from proc.call("kreadv", cfd, BUF, 100)
+            out["got"] = r.data
+            yield from proc.call("kwritev", cfd, BUF, 2, b"ok")
+            yield from proc.call("close", cfd)
+            yield from proc.call("close", sfd)
+            yield from proc.exit(0)
+
+        def client(proc):
+            yield from proc.call("nanosleep", 50_000)
+            r = yield from proc.call("socket")
+            fd = r.value
+            yield from proc.call("connect", fd, 7400)
+            yield from proc.call("kwritev", fd, BUF, 5, b"hello")
+            r = yield from proc.call("kreadv", fd, BUF, 10)
+            out["reply"] = r.data
+            yield from proc.exit(0)
+
+        engine2.spawn("s", server)
+        engine2.spawn("c", client)
+        engine2.run()
+        assert out["got"] == b"hello" and out["reply"] == b"ok"
+
+
+class TestSharedMemory:
+    def test_shmget_shmat_roundtrip(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("shmget", 0x77, 65536)
+            out["shmid"] = r.value
+            r = yield from proc.call("shmat", r.value)
+            out["base"] = r.value
+            yield from proc.store(r.value + 128)
+            out["dt"] = yield from proc.call("shmdt", r.value)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["shmid"] > 0 and out["base"] > 0 and out["dt"].ok
+
+    def test_two_processes_share_frames(self, engine2):
+        bases = {}
+
+        def maker(name):
+            def app(proc):
+                r = yield from proc.call("shmget", 0x99, 4096)
+                r = yield from proc.call("shmat", r.value)
+                bases[name] = r.value
+                yield from proc.store(r.value)
+                yield from proc.barrier(1, 2)
+                yield from proc.exit(0)
+            return app
+
+        engine2.spawn("a", maker("a"))
+        engine2.spawn("b", maker("b"))
+        engine2.run()
+        vmm = engine2.memsys.vmm
+        pids = sorted(engine2.comm.processes)
+        pa = vmm.translate(pids[0], bases["a"], False, 0)[0]
+        pb = vmm.translate(pids[1], bases["b"], False, 1)[0]
+        assert pa == pb
+
+    def test_shmat_bad_id(self, engine2):
+        out = {}
+
+        def app(proc):
+            out["r"] = yield from proc.call("shmat", 424242)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["r"].errno == EINVAL
+
+    def test_shmget_bad_size(self, engine2):
+        out = {}
+
+        def app(proc):
+            out["r"] = yield from proc.call("shmget", 1, -5)
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["r"].errno == EINVAL
+
+
+class TestPipesAndMisc:
+    def test_pipe_roundtrip(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("pipe")
+            rfd, wfd = r.data
+            yield from proc.call("kwritev", wfd, BUF, 3, b"abc")
+            r = yield from proc.call("kreadv", rfd, BUF, 10)
+            out["d"] = r.data
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["d"] == b"abc"
+
+    def test_getpid_matches(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("getpid")
+            out["pid"] = r.value
+            out["real"] = proc.process.pid
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["pid"] == out["real"]
+
+    def test_gettimeofday_monotone(self, engine2):
+        out = {}
+
+        def app(proc):
+            r1 = yield from proc.call("times")
+            yield from proc.call("nanosleep", 1_000_000)
+            r2 = yield from proc.call("times")
+            out["d"] = r2.value - r1.value
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["d"] >= 1_000_000
+
+    def test_nanosleep_blocks_frees_cpu(self):
+        eng = Engine(complex_backend(num_cpus=1))
+        order = []
+
+        def sleeper(proc):
+            yield from proc.call("nanosleep", 5_000_000)
+            order.append("sleeper")
+            yield from proc.exit(0)
+
+        def worker(proc):
+            proc.compute(1000)
+            yield from proc.advance()
+            order.append("worker")
+            yield from proc.exit(0)
+
+        eng.spawn("s", sleeper)
+        eng.spawn("w", worker)       # queued behind the sleeper on 1 CPU
+        eng.run()
+        assert order == ["worker", "sleeper"]
+
+    def test_getcpu(self, engine2):
+        out = {}
+
+        def app(proc):
+            r = yield from proc.call("getcpu")
+            out["cpu"] = r.value
+            yield from proc.exit(0)
+
+        engine2.spawn("a", app)
+        engine2.run()
+        assert out["cpu"] in (0, 1)
+
+    def test_waitpid_returns_status(self, engine2):
+        out = {}
+
+        def child(proc):
+            yield from proc.exit(9)
+
+        def parent(proc):
+            r = yield from proc.call("spawn", "kid", child)
+            r = yield from proc.call("waitpid", r.value)
+            out["status"] = r.value
+            yield from proc.exit(0)
+
+        engine2.spawn("p", parent)
+        engine2.run()
+        assert out["status"] == 9
+
+    def test_waitpid_already_dead(self, engine2):
+        out = {}
+
+        def child(proc):
+            yield from proc.exit(3)
+
+        def parent(proc):
+            r = yield from proc.call("spawn", "kid", child)
+            pid = r.value
+            yield from proc.call("nanosleep", 10_000_000)
+            r = yield from proc.call("waitpid", pid)
+            out["status"] = r.value
+            yield from proc.exit(0)
+
+        engine2.spawn("p", parent)
+        engine2.run()
+        assert out["status"] == 3

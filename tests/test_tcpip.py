@@ -1,0 +1,165 @@
+"""TCP/IP stack unit tests (functional layer, no engine)."""
+
+import pytest
+
+from repro.core.errors import OSError_
+from repro.core.frontend import WaitToken
+from repro.core.scheduler import GlobalScheduler
+from repro.devices.ethernet import EthernetNic, Frame
+from repro.core.config import EthernetConfig
+from repro.core.clock import ClockDomain
+from repro.osim.interrupts import InterruptController
+from repro.core.communicator import CpuState
+from repro.osim.tcpip import CLIENT, SERVER, TcpIpStack
+
+
+@pytest.fixture
+def stack():
+    gs = GlobalScheduler()
+    cpus = [CpuState(0)]
+    intctl = InterruptController(cpus)
+    nic = EthernetNic("en0", gs, intctl, EthernetConfig(), ClockDomain())
+    st = TcpIpStack(nic)
+    st._gs = gs          # keep the scheduler alive for draining
+    return st
+
+
+def drain(stack):
+    gs = stack._gs
+    while (t := gs.pop_due(1 << 60)) is not None:
+        gs.run_task(t)
+    # deliver interrupts by hand (no engine here)
+    for cpu in stack.nic.intctl.cpus:
+        for intr in list(cpu.irq_pending):
+            for act in intr.actions:
+                act()
+        cpu.irq_pending.clear()
+
+
+def listener(stack, port=80):
+    sid = stack.socket(1)
+    assert stack.bind(sid, port) == 0
+    assert stack.listen(sid) == 0
+    return sid
+
+
+class TestLifecycle:
+    def test_bind_conflict(self):
+        pass
+
+    def test_bind_duplicate_port(self, stack):
+        listener(stack, 80)
+        s2 = stack.socket(2)
+        assert stack.bind(s2, 80) != 0
+
+    def test_listen_requires_bind(self, stack):
+        s = stack.socket(1)
+        assert stack.listen(s) != 0
+
+    def test_close_unknown_is_noop(self, stack):
+        stack.close(9999)
+
+    def test_refcounting(self, stack):
+        sid = listener(stack)
+        stack.addref(sid)
+        stack.close(sid)
+        assert stack.get(sid) is not None
+        stack.close(sid)
+        with pytest.raises(OSError_):
+            stack.get(sid)
+
+
+class TestRemoteClients:
+    def test_syn_data_recv_roundtrip(self, stack):
+        lsid = listener(stack)
+        stack.client_connect(100, 80, 0)
+        drain(stack)
+        nsid = stack.pop_accept(lsid)
+        assert nsid is not None
+        stack.client_send(100, b"GET /", 0)
+        drain(stack)
+        assert stack.pop_recv(nsid, 100) == b"GET /"
+
+    def test_recv_would_block_then_eof(self, stack):
+        lsid = listener(stack)
+        stack.client_connect(100, 80, 0)
+        drain(stack)
+        nsid = stack.pop_accept(lsid)
+        assert stack.pop_recv(nsid, 10) is None
+        stack.client_close(100, 0)
+        drain(stack)
+        assert stack.pop_recv(nsid, 10) == b""
+
+    def test_syn_to_closed_port_dropped(self, stack):
+        stack.client_connect(5, 9999, 0)
+        drain(stack)
+        assert stack.connection(5) is None
+
+    def test_server_send_notifies_player(self, stack):
+        got = []
+        stack.on_server_send = lambda cid, n, payload: got.append((cid, n))
+        lsid = listener(stack)
+        stack.client_connect(7, 80, 0)
+        drain(stack)
+        nsid = stack.pop_accept(lsid)
+        stack.send(nsid, 500, 0)
+        drain(stack)
+        assert got == [(7, 500)]
+
+    def test_partial_recv_preserves_rest(self, stack):
+        lsid = listener(stack)
+        stack.client_connect(1, 80, 0)
+        drain(stack)
+        nsid = stack.pop_accept(lsid)
+        stack.client_send(1, b"abcdef", 0)
+        drain(stack)
+        assert stack.pop_recv(nsid, 2) == b"ab"
+        assert stack.pop_recv(nsid, 10) == b"cdef"
+
+
+class TestLoopback:
+    def test_connect_local_roundtrip(self, stack):
+        lsid = listener(stack, 5000)
+        csid = stack.connect_local(2, 5000)
+        assert csid is not None
+        ssid = stack.pop_accept(lsid)
+        stack.send(csid, 3, 0, data=b"abc")
+        assert stack.pop_recv(ssid, 10) == b"abc"
+        stack.send(ssid, 2, 0, data=b"ok")
+        assert stack.pop_recv(csid, 10) == b"ok"
+
+    def test_connect_local_no_listener(self, stack):
+        assert stack.connect_local(2, 1234) is None
+
+    def test_close_signals_peer_eof(self, stack):
+        lsid = listener(stack, 5000)
+        csid = stack.connect_local(2, 5000)
+        ssid = stack.pop_accept(lsid)
+        stack.close(csid)
+        assert stack.pop_recv(ssid, 10) == b""
+
+    def test_waiters_woken_on_data(self, stack):
+        lsid = listener(stack, 5000)
+        csid = stack.connect_local(2, 5000)
+        ssid = stack.pop_accept(lsid)
+        tok = WaitToken("recv")
+        stack.add_waiter(ssid, tok)
+        stack.send(csid, 1, 0, data=b"x")
+        assert tok.woken
+
+    def test_accept_waiter_woken_on_syn(self, stack):
+        lsid = listener(stack, 5000)
+        tok = WaitToken("accept")
+        stack.add_waiter(lsid, tok)
+        stack.connect_local(2, 5000)
+        assert tok.woken
+
+    def test_readable_states(self, stack):
+        lsid = listener(stack, 5000)
+        assert not stack.get(lsid).readable()
+        csid = stack.connect_local(2, 5000)
+        assert stack.get(lsid).readable()     # pending accept
+        ssid = stack.pop_accept(lsid)
+        assert not stack.get(ssid).readable()
+        stack.send(csid, 1, 0, data=b"x")
+        assert stack.get(ssid).readable()
