@@ -62,7 +62,9 @@ class RelaxedEngine(Engine):
 
 
 def run_engine(engine_cls, quantum=None, iters=40):
-    cfg = complex_backend(num_cpus=4)
+    # this ablation studies per-event selection order, so the batched
+    # fast path (which serves runs of references per selection) is off
+    cfg = complex_backend(num_cpus=4, fastpath=False)
     eng = (engine_cls(cfg) if quantum is None
            else engine_cls(cfg, quantum))
     for i in range(4):

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Run every benchmark file and collect their BENCH_*.json artifacts.
+
+Each ``bench_*.py`` runs in its own pytest subprocess (pytest-benchmark
+prints its tables; benches that write ``BENCH_*.json`` refresh the copies
+at the repo root). Usage::
+
+    python benchmarks/run_all.py              # full runs
+    python benchmarks/run_all.py --quick      # COMPASS_BENCH_QUICK=1
+    python benchmarks/run_all.py fastpath     # only bench_fastpath.py
+
+Exits non-zero if any bench fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover(patterns):
+    benches = sorted(BENCH_DIR.glob("bench_*.py"))
+    if patterns:
+        benches = [b for b in benches
+                   if any(p in b.stem for p in patterns)]
+    return benches
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("patterns", nargs="*",
+                    help="substring filters on bench file names")
+    ap.add_argument("--quick", action="store_true",
+                    help="set COMPASS_BENCH_QUICK=1 (smaller workloads)")
+    args = ap.parse_args(argv)
+
+    benches = discover(args.patterns)
+    if not benches:
+        print("no benchmarks match", args.patterns, file=sys.stderr)
+        return 2
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + (os.pathsep + env["PYTHONPATH"]
+                            if env.get("PYTHONPATH") else ""))
+    if args.quick:
+        env["COMPASS_BENCH_QUICK"] = "1"
+
+    results = []
+    for bench in benches:
+        print(f"\n=== {bench.name} ===", flush=True)
+        t0 = time.perf_counter()
+        rc = subprocess.call(
+            [sys.executable, "-m", "pytest", "-q", str(bench),
+             "-p", "no:cacheprovider"],
+            cwd=REPO_ROOT, env=env)
+        results.append((bench.name, rc, time.perf_counter() - t0))
+
+    print("\n=== summary ===")
+    failed = 0
+    for name, rc, secs in results:
+        status = "ok" if rc == 0 else f"FAILED (rc={rc})"
+        print(f"  {name:40s} {status:14s} {secs:7.1f}s")
+        failed += rc != 0
+    artifacts = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if artifacts:
+        print("artifacts:")
+        for a in artifacts:
+            try:
+                keys = ", ".join(sorted(json.loads(a.read_text()))[:6])
+            except (OSError, ValueError):
+                keys = "<unreadable>"
+            print(f"  {a.name}: {keys}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,12 +119,13 @@ class BufferPool:
         return frame, page
 
     def scan_page(self, proc: Proc, frame: int, rows: int,
-                  work_per_row: int = 20):
+                  work_per_row: int = 20, stride: int = 64):
         """Reference a pinned frame's rows (predicate evaluation): one read
-        per cache line plus per-row compute."""
+        per ``stride`` bytes plus per-row compute. The default reads once
+        per 64-byte row; a finer stride models per-field evaluation."""
         nbytes = min(PAGE_SIZE, max(rows, 1) * 64)
         lat = yield from proc.touch(self.frame_addr(frame), nbytes,
-                                    write=False, stride=64,
+                                    write=False, stride=stride,
                                     work_per_line=work_per_row)
         return lat
 

@@ -6,6 +6,7 @@ updates vs sequential scan — are preserved)."""
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -163,7 +164,9 @@ def _gen_record(schema: Schema, rid: int, rng: random.Random) -> Dict:
 def load_table(fs: FileSystem, info: TableInfo, seed: int = 7,
                custkey_range: int = 0) -> None:
     """Generate and write one table's pages into the simulated FS."""
-    rng = random.Random((seed, info.schema.name).__hash__() & 0x7FFFFFFF)
+    # crc32 keeps the stream stable across processes (str.__hash__ is
+    # randomized per interpreter, which made generated data non-reproducible)
+    rng = random.Random(zlib.crc32(f"{seed}:{info.schema.name}".encode()))
     rpp = info.schema.records_per_page
     rs = info.schema.record_size
     out = bytearray(info.npages * PAGE_SIZE)

@@ -193,6 +193,10 @@ class SimConfig:
     max_cycles: int = 1 << 62
     #: instrumentation ON/OFF default (the paper's Simulation switch)
     instrument_default: bool = True
+    #: batched event pipeline + L1 fast-path filter (bit-identical timing;
+    #: turn off to force the one-event-per-reference path, e.g. for
+    #: equivalence testing or interleaving ablations)
+    fastpath: bool = True
 
     def validate(self) -> "SimConfig":
         if self.num_cpus <= 0:

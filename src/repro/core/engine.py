@@ -81,6 +81,16 @@ class Engine:
         #: pid -> tokens to wake when that process exits (waitpid support)
         self._exit_watchers: Dict[int, List[WaitToken]] = {}
         self.events_processed = 0
+        #: frontends publish EventBatches instead of per-reference events
+        #: (ParallelEngine turns this off: its proxies stream plain events)
+        self._frontend_batching = bool(cfg.fastpath)
+        #: batched-pipeline observability: batches consumed, references
+        #: consumed, and why each consume loop stopped
+        self.batch_stats: Dict[str, int] = {
+            "batches": 0, "refs": 0, "completed": 0,
+            "cut_horizon": 0, "cut_budget": 0, "cut_intr": 0,
+            "cut_fault": 0,
+        }
         self._max_cycles = cfg.max_cycles
         self._timer_started = False
         #: count of not-yet-exited processes (kept in step with spawns/exits)
@@ -105,6 +115,7 @@ class Engine:
         reference heap/stack addresses immediately.
         """
         proc = SimProcess(name, clock=clock)
+        proc.batching = self._frontend_batching
         self.memsys.vmm.new_space(proc.pid)
         if map_default:
             self.memsys.vmm.map_anon(proc.pid, DEFAULT_ANON_BASE,
@@ -139,7 +150,8 @@ class Engine:
             def pending(self, v: int) -> None:
                 machine.pending = v
 
-        return self.spawn(name, lambda _api: interp.run(),
+        batched = self._frontend_batching
+        return self.spawn(name, lambda _api: interp.run(batched=batched),
                           clock=_MachineClock())
 
     def mmap_alloc(self, pid: int, size: int) -> int:
@@ -200,8 +212,25 @@ class Engine:
             event = cand.port_event
             cand.port_event = None
             self.gsched.advance_to(et)
-            self.events_processed += 1
             self._last_progress = et
+            if event.kind == 9:     # EvKind.BATCH
+                # consume references while this frontend is guaranteed to
+                # stay globally first: before any rival port event (with
+                # the pid tie-break), any backend task, and the run bounds
+                horizon = self.comm.batch_horizon(cand)
+                if horizon is None:
+                    horizon = 1 << 62
+                if t_task is not None and t_task < horizon:
+                    horizon = t_task
+                if until is not None and until + 1 < horizon:
+                    horizon = until + 1
+                if self._max_cycles + 1 < horizon:
+                    horizon = self._max_cycles + 1
+                n = self._handle_batch(cand, event, horizon, budget)
+                self.events_processed += n
+                budget -= n
+                continue
+            self.events_processed += 1
             budget -= 1
             self._handle_event(cand, event)
         self.timer.stop()
@@ -261,6 +290,82 @@ class Engine:
         self._charge(proc, event.mode)
         if resume:
             self._after_event(proc)
+
+    # -- the batched hot loop ----------------------------------------------
+
+    def _handle_batch(self, proc: SimProcess, batch: ev.EventBatch,
+                      horizon: int, budget: int) -> int:
+        """Consume references from ``batch`` in one tight loop.
+
+        Bit-identity contract: each reference is serviced at exactly the
+        cycle and in exactly the global order the per-event path would have
+        used. The run loop guarantees the reference at ``cursor`` is
+        globally first; later references are consumed only while their issue
+        time stays below ``horizon``. Interrupt/signal/preemption flags only
+        change when backend tasks run — never inside this loop — so they are
+        evaluated once on entry: when delivery is due, exactly one reference
+        is consumed (the per-event path polls after each reference too).
+        Returns the number of references consumed.
+        """
+        cpu = proc.cpu
+        cpu_state = self.comm.cpus[cpu]
+        deliver = ((cpu_state.irq_pending and cpu_state.irq_enabled
+                    and proc.intr_enabled and proc.mode != "interrupt")
+                   or (not proc.kernel_mode
+                       and self.signals.has_pending(proc.pid))
+                   or proc.preempt_pending)
+        limit = batch.n - batch.cursor
+        if budget < limit:
+            limit = budget
+        if deliver:
+            limit = 1
+        pends = batch.pendings
+        consumed, i, t, added, fault = self.memsys.access_run(
+            proc.pid, cpu, batch.kinds, batch.addrs, batch.sizes, pends,
+            batch.cursor, batch.n, batch.time, limit, horizon,
+            clock=self.gsched)
+        n = batch.n
+        batch.cursor = i
+        batch.total = total = batch.total + added
+        self._last_progress = self.gsched.now
+        bs = self.batch_stats
+        bs["batches"] += 1
+        bs["refs"] += consumed
+        if fault is not None:
+            # the faulting reference re-runs via the ("retry", batch) meta;
+            # its lead-in pending is already folded into vtime, so zero it
+            bs["cut_fault"] += 1
+            pends[i] = 0
+            proc.vtime = t
+            batch.time = t
+            batch.depth = len(proc.frames)
+            proc.pending_batches.append(batch)
+            self._push_fault_handler(proc, batch, fault)
+            self._charge(proc, batch.mode)
+            self._after_event(proc)
+            return consumed
+        proc.vtime = t
+        if i >= n:
+            bs["completed"] += 1
+            proc.reply = total
+            self._charge(proc, batch.mode)
+            self._after_event(proc)
+            return consumed
+        # cut with references remaining
+        self._charge(proc, batch.mode)
+        if deliver:
+            # stash under the handler frames _after_event will push; _step
+            # re-parks it when the stack unwinds back to this depth
+            bs["cut_intr"] += 1
+            batch.depth = len(proc.frames)
+            proc.pending_batches.append(batch)
+            proc.reply = None
+            self._after_event(proc)
+        else:
+            bs["cut_horizon" if consumed < limit else "cut_budget"] += 1
+            batch.time = t + pends[i]
+            proc.port_event = batch
+        return consumed
 
     # -- memory faults -----------------------------------------------------
 
@@ -522,6 +627,15 @@ class Engine:
         send_val = proc.reply
         proc.reply = None
         while True:
+            pb = proc.pending_batches
+            if pb and len(proc.frames) == pb[-1].depth:
+                # the frames stacked above a half-consumed batch have all
+                # unwound: put it back at the port instead of resuming the
+                # generator (which is still suspended at its yield)
+                b = pb.pop()
+                b.time = proc.vtime + b.pendings[b.cursor]
+                proc.port_event = b
+                return
             top = proc.frames[-1]
             try:
                 out = top.send(send_val)
@@ -544,6 +658,33 @@ class Engine:
                     send_val = saved
                 elif kind == "retry":
                     orig = payload
+                    if orig.kind == 9:   # half-consumed EventBatch
+                        c = orig.cursor
+                        k = orig.kinds[c]
+                        lat, major = self.memsys.access(
+                            proc.pid, orig.addrs[c], orig.sizes[c],
+                            k != 0, proc.cpu, self.gsched.now,
+                            atomic=(k == 2))
+                        if major is not None:
+                            frame = self.os_server.vm_fault_handler(
+                                proc, major)
+                            proc.push_frame(frame, "kernel",
+                                            ("retry", orig))
+                            send_val = None
+                            continue
+                        proc.vtime += lat
+                        self._charge(proc, orig.mode)
+                        orig.total += lat
+                        orig.cursor = c + 1
+                        proc.pending_batches.pop()
+                        if orig.cursor >= orig.n:
+                            # batch done: resume the generator with the
+                            # aggregate latency, as one yield reply
+                            send_val = orig.total
+                            continue
+                        orig.time = proc.vtime + orig.pendings[orig.cursor]
+                        proc.port_event = orig
+                        return
                     lat, major = self.memsys.access(
                         proc.pid, orig.addr, orig.size,
                         orig.kind != ev.EvKind.READ, proc.cpu,
@@ -563,6 +704,16 @@ class Engine:
             if isinstance(out, WaitToken):
                 self._charge(proc, proc.mode)
                 self._block(proc, out)
+                return
+            if out.kind == 9:
+                # an EventBatch: per-reference pendings are already folded
+                # into the batch (clock.pending holds only cycles belonging
+                # to whatever the producer yields next, so leave it alone)
+                out.time = proc.vtime + out.pendings[out.cursor]
+                out.pid = proc.pid
+                out.mode = proc.mode
+                out.kernel = proc.kernel_mode
+                proc.port_event = out
                 return
             # an Event: stamp it and park it at the event port
             out.time = proc.vtime + proc.clock.pending

@@ -43,6 +43,9 @@ class EvKind(IntEnum):
     #: Frontend announces termination (sent before the coroutine returns,
     #: mirroring the EXIT message that unpairs the OS thread).
     EXIT = 8
+    #: A pooled :class:`EventBatch` — a run of consecutive memory references
+    #: published through the port as one message (the batched hot path).
+    BATCH = 9
 
 
 #: Kinds that reference simulated memory.
@@ -100,6 +103,99 @@ class Event:
             f"arg={self.arg!r}, t={self.time}, pid={self.pid}, "
             f"{'kernel' if self.kernel else 'user'})"
         )
+
+
+class EventBatch:
+    """A run of consecutive memory references from one frontend frame.
+
+    The per-reference round trip (suspend generator → handle → resume) is
+    the simulator's dominant cost; a batch carries up to :data:`BATCH_CAP`
+    references in parallel arrays so the engine can service them in a tight
+    loop without re-entering the generator. Semantics are identical to
+    yielding the references one by one:
+
+    * ``pendings[i]`` holds the statically-known cycles accumulated *before*
+      reference ``i`` (what the per-event path would fold into the event's
+      time stamp), so each reference's issue time is reconstructed exactly;
+    * ``time`` is the absolute issue time of the reference at ``cursor``
+      (the port timestamp the communicator orders on);
+    * the engine advances ``cursor``/``total`` as it consumes references and
+      may re-park a half-consumed batch at the port (conservative-ordering
+      cut) or on ``pending_batches`` (interrupt/fault frames pushed above
+      it); the generator resumes only once, receiving ``total``.
+
+    Batches are pooled (:func:`acquire_batch` / :func:`release_batch`): a
+    producer reuses one batch object for its whole life, so the hot loop
+    allocates nothing.
+    """
+
+    #: class-level Event protocol: a batch is its own kind, has no payload
+    kind = int(EvKind.BATCH)
+    arg = None
+
+    __slots__ = ("kinds", "addrs", "sizes", "pendings", "n", "cursor",
+                 "total", "time", "pid", "kernel", "mode", "depth")
+
+    def __init__(self) -> None:
+        self.kinds: list = []
+        self.addrs: list = []
+        self.sizes: list = []
+        self.pendings: list = []
+        self.n = 0
+        self.cursor = 0
+        self.total = 0
+        self.time = 0
+        self.pid = -1
+        self.kernel = False
+        self.mode = "user"
+        #: frame-stack depth a half-consumed batch was parked under (engine)
+        self.depth = 0
+
+    def append(self, kind: int, addr: int, size: int, pending: int) -> None:
+        """Add one reference (caller zeroes its pending-cycle counter)."""
+        self.kinds.append(kind)
+        self.addrs.append(addr)
+        self.sizes.append(size)
+        self.pendings.append(pending)
+        self.n += 1
+
+    def reset(self) -> None:
+        """Empty the batch for reuse."""
+        self.kinds.clear()
+        self.addrs.clear()
+        self.sizes.clear()
+        self.pendings.clear()
+        self.n = 0
+        self.cursor = 0
+        self.total = 0
+        self.depth = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EventBatch(n={self.n}, cursor={self.cursor}, "
+                f"t={self.time}, pid={self.pid}, total={self.total})")
+
+
+#: references per batch before the producer must flush (bounds both the
+#: parallel-array size and how far a frontend can run ahead of a cut)
+BATCH_CAP = 64
+
+#: freelist of EventBatch objects (engine is single-threaded)
+_batch_pool: list = []
+_BATCH_POOL_MAX = 64
+
+
+def acquire_batch() -> EventBatch:
+    """Take a clean batch from the pool (or allocate one)."""
+    if _batch_pool:
+        return _batch_pool.pop()
+    return EventBatch()
+
+
+def release_batch(batch: EventBatch) -> None:
+    """Return a batch to the pool once no party references it."""
+    batch.reset()
+    if len(_batch_pool) < _BATCH_POOL_MAX:
+        _batch_pool.append(batch)
 
 
 # ---------------------------------------------------------------------------

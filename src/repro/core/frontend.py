@@ -131,6 +131,14 @@ class SimProcess:
         #: Proc API generates no events and no time (simulation OFF regions,
         #: signal handlers, static constructors)
         self.events_enabled = True
+        #: batched event pipeline enabled (set by the engine from
+        #: SimConfig.fastpath; producers fall back to per-event yields
+        #: when False)
+        self.batching = False
+        #: half-consumed EventBatches stashed while interrupt/fault frames
+        #: run above their producers (LIFO; engine re-parks each when the
+        #: frame stack unwinds back to its recorded depth)
+        self.pending_batches: List[ev.EventBatch] = []
 
     # -- frame management (engine use) ------------------------------------
 
@@ -255,6 +263,47 @@ class Proc:
         end = addr + nbytes
         a = addr
         pend = self._clock
+        if self.process.batching:
+            # batched pipeline: one EventBatch message per BATCH_CAP
+            # references instead of one generator suspension each. The
+            # parallel arrays are filled through bound appends (reset()
+            # clears the same list objects, so the bindings stay valid);
+            # only the final ragged reference can be shorter than stride.
+            k = int(kind)
+            cap = ev.BATCH_CAP
+            batch = ev.acquire_batch()
+            kapp = batch.kinds.append
+            aapp = batch.addrs.append
+            sapp = batch.sizes.append
+            papp = batch.pendings.append
+            n = batch.n
+            pending = pend.pending
+            pend.pending = 0
+            last_full = end - stride
+            while a < end:
+                if work_per_line:
+                    pending += work_per_line
+                kapp(k)
+                aapp(a)
+                sapp(stride if a <= last_full else end - a)
+                papp(pending)
+                pending = 0
+                n += 1
+                if n >= cap:
+                    batch.n = n
+                    total += yield batch
+                    batch.reset()
+                    n = 0
+                    # handler frames that ran while the batch was parked
+                    # may have left pending cycles for the next reference
+                    pending = pend.pending
+                    pend.pending = 0
+                a += stride
+            if n:
+                batch.n = n
+                total += yield batch
+            ev.release_batch(batch)
+            return total
         while a < end:
             if work_per_line:
                 pend.pending += work_per_line

@@ -1,7 +1,8 @@
 """Experiment harness: profile decomposition (Table 1), slowdown
 measurement (Tables 2–3), and ASCII table rendering for the benches."""
 
-from .profile import ProfileRow, profile_row, top_oscall_table
+from .profile import (ProfileRow, fastpath_summary, profile_row,
+                      top_oscall_table)
 from .slowdown import SlowdownResult, measure_slowdown
 from .tables import render_table
 from .hostmodel import (HostCosts, HostPrediction, measure_context_switch,
@@ -9,6 +10,7 @@ from .hostmodel import (HostCosts, HostPrediction, measure_context_switch,
 
 __all__ = [
     "ProfileRow",
+    "fastpath_summary",
     "profile_row",
     "top_oscall_table",
     "SlowdownResult",

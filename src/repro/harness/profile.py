@@ -63,3 +63,25 @@ def top_oscall_table(stats: StatsRegistry, n: int = 8) -> List[Tuple[str, float,
         return []
     return [(name, 100.0 * cyc / total_kernel, cnt)
             for name, cyc, cnt in stats.top_syscalls(n)]
+
+
+def fastpath_summary(engine) -> dict:
+    """Observability row for the batched pipeline + L1 fast-path filter.
+
+    Reports how many references resolved in the L1 fast path vs fell back
+    to the full hierarchy walk, plus the engine's batch consumption
+    counters (batches consumed, references per batch, and why each consume
+    loop stopped — see DESIGN.md "Performance notes").
+    """
+    ms = engine.memsys
+    total = ms.fast_hits + ms.fast_fallbacks
+    out = {
+        "fast_hits": ms.fast_hits,
+        "fast_fallbacks": ms.fast_fallbacks,
+        "fast_hit_rate": (ms.fast_hits / total) if total else 0.0,
+        "events_processed": engine.events_processed,
+    }
+    bs = engine.batch_stats
+    out.update({f"batch_{k}": v for k, v in bs.items()})
+    out["refs_per_batch"] = (bs["refs"] / bs["batches"]) if bs["batches"] else 0.0
+    return out

@@ -152,6 +152,9 @@ class ParallelEngine(Engine):
         to the first N host CPUs — the knob behind the paper's Table 3
         uniprocessor-vs-SMP comparison."""
         super().__init__(cfg, stats)
+        # worker proxies replay one decoded event per generator step; the
+        # batched port pipeline only applies to in-process frontends
+        self._frontend_batching = False
         self._workers: Dict[int, _Worker] = {}
         self._ctx = mp.get_context("fork")
         self._affinity: Optional[frozenset] = None

@@ -57,8 +57,16 @@ class Interpreter:
     # instrumented execution (frontend coroutine)
     # ------------------------------------------------------------------
 
-    def run(self) -> Generator[ev.Event, Any, int]:
+    def run(self, batched: bool = False) -> Generator[ev.Event, Any, int]:
         """Execute instrumented; yields events, receives backend replies.
+
+        With ``batched=True`` memory references are accumulated into a
+        pooled :class:`~repro.core.events.EventBatch` and published as one
+        port message per :data:`~repro.core.events.BATCH_CAP` references
+        (flushed before every synchronisation/OS-call event so ordering
+        effects are preserved). Timing is bit-identical to the per-event
+        mode: each reference carries the pending cycles accumulated before
+        it, so the engine reconstructs the exact issue times.
 
         Returns the program's exit status (r3 at HALT).
         """
@@ -66,6 +74,8 @@ class Interpreter:
         regs = m.regs
         blocks = self.program.blocks
         bi = self.program.entry
+        batch = ev.acquire_batch() if batched else None
+        cap = ev.BATCH_CAP
 
         while not m.halted:
             blk = blocks[bi]
@@ -80,35 +90,77 @@ class Interpreter:
                     addr = regs[ins.b] + ins.c
                     regs[ins.a] = m.mem.load(addr, ins.d or 4)
                     if m.sim_on:
-                        yield ev.Event(ev.EvKind.READ, addr, ins.d or 4)
+                        if batch is not None:
+                            batch.append(0, addr, ins.d or 4, m.pending)
+                            m.pending = 0
+                            if batch.n >= cap:
+                                yield batch
+                                batch.reset()
+                        else:
+                            yield ev.Event(ev.EvKind.READ, addr, ins.d or 4)
                 elif op == Op.STORE:
                     addr = regs[ins.b] + ins.c
                     m.mem.store(addr, regs[ins.a], ins.d or 4)
                     if m.sim_on:
-                        yield ev.Event(ev.EvKind.WRITE, addr, ins.d or 4)
+                        if batch is not None:
+                            batch.append(1, addr, ins.d or 4, m.pending)
+                            m.pending = 0
+                            if batch.n >= cap:
+                                yield batch
+                                batch.reset()
+                        else:
+                            yield ev.Event(ev.EvKind.WRITE, addr, ins.d or 4)
                 elif op == Op.LOADX:
                     addr = regs[ins.b] + regs[ins.c]
                     regs[ins.a] = m.mem.load(addr, ins.d or 4)
                     if m.sim_on:
-                        yield ev.Event(ev.EvKind.READ, addr, ins.d or 4)
+                        if batch is not None:
+                            batch.append(0, addr, ins.d or 4, m.pending)
+                            m.pending = 0
+                            if batch.n >= cap:
+                                yield batch
+                                batch.reset()
+                        else:
+                            yield ev.Event(ev.EvKind.READ, addr, ins.d or 4)
                 elif op == Op.STOREX:
                     addr = regs[ins.b] + regs[ins.c]
                     m.mem.store(addr, regs[ins.a], ins.d or 4)
                     if m.sim_on:
-                        yield ev.Event(ev.EvKind.WRITE, addr, ins.d or 4)
+                        if batch is not None:
+                            batch.append(1, addr, ins.d or 4, m.pending)
+                            m.pending = 0
+                            if batch.n >= cap:
+                                yield batch
+                                batch.reset()
+                        else:
+                            yield ev.Event(ev.EvKind.WRITE, addr, ins.d or 4)
                 elif op == Op.LWARX:
                     addr = regs[ins.b]
                     m.reservation = addr
                     regs[ins.a] = m.mem.load(addr, 4)
                     if m.sim_on:
-                        yield ev.Event(ev.EvKind.READ, addr, 4)
+                        if batch is not None:
+                            batch.append(0, addr, 4, m.pending)
+                            m.pending = 0
+                            if batch.n >= cap:
+                                yield batch
+                                batch.reset()
+                        else:
+                            yield ev.Event(ev.EvKind.READ, addr, 4)
                 elif op == Op.STWCX:
                     addr = regs[ins.b]
                     if m.reservation == addr:
                         m.mem.store(addr, regs[ins.a], 4)
                         regs[ins.a] = 1
                         if m.sim_on:
-                            yield ev.Event(ev.EvKind.RMW, addr, 4)
+                            if batch is not None:
+                                batch.append(2, addr, 4, m.pending)
+                                m.pending = 0
+                                if batch.n >= cap:
+                                    yield batch
+                                    batch.reset()
+                            else:
+                                yield ev.Event(ev.EvKind.RMW, addr, 4)
                     else:
                         regs[ins.a] = 0
                     m.reservation = None
@@ -199,16 +251,28 @@ class Interpreter:
                 # --- sync ---
                 elif op == Op.LOCK:
                     if m.sim_on:
+                        if batch is not None and batch.n:
+                            yield batch
+                            batch.reset()
                         yield ev.Event(ev.EvKind.LOCK, arg=regs[ins.a])
                 elif op == Op.UNLOCK:
                     if m.sim_on:
+                        if batch is not None and batch.n:
+                            yield batch
+                            batch.reset()
                         yield ev.Event(ev.EvKind.UNLOCK, arg=regs[ins.a])
                 elif op == Op.BARRIER:
                     if m.sim_on:
+                        if batch is not None and batch.n:
+                            yield batch
+                            batch.reset()
                         yield ev.Event(ev.EvKind.BARRIER,
                                        arg=(regs[ins.a], regs[ins.b]))
                 # --- system ---
                 elif op == Op.SYSCALL:
+                    if batch is not None and batch.n:
+                        yield batch
+                        batch.reset()
                     nargs = ins.b
                     args = tuple(regs[3:3 + nargs])
                     res = yield ev.Event(ev.EvKind.SYSCALL,
@@ -238,6 +302,10 @@ class Interpreter:
                 m.halted = True
                 break
             bi = next_bi
+        if batch is not None:
+            if batch.n:
+                yield batch
+            ev.release_batch(batch)
         return regs[3]
 
     # ------------------------------------------------------------------

@@ -25,7 +25,8 @@ class LineState(IntEnum):
 class Cache:
     """One cache: maps line address → state, LRU within each set."""
 
-    __slots__ = ("name", "cfg", "line_shift", "n_sets", "_sets", "_states",
+    __slots__ = ("name", "cfg", "line_shift", "n_sets", "set_mask", "assoc",
+                 "_sets", "_states",
                  "hits", "misses", "evictions", "writebacks", "invalidations")
 
     def __init__(self, name: str, cfg: CacheConfig) -> None:
@@ -34,6 +35,12 @@ class Cache:
         self.cfg = cfg
         self.line_shift = cfg.line_size.bit_length() - 1
         self.n_sets = cfg.n_sets
+        #: power-of-two set counts index with a mask instead of a modulo
+        #: (the common geometry; -1 marks the generic fallback)
+        self.set_mask = self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else -1
+        #: hoisted from the frozen dataclass: attribute reads off a slot are
+        #: measurably cheaper than a dataclass field in the fill path
+        self.assoc = cfg.assoc
         #: per-set MRU-ordered list of line addresses (index 0 = MRU)
         self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
         #: line address -> LineState
@@ -51,7 +58,8 @@ class Cache:
         return paddr >> self.line_shift
 
     def _set_of(self, line: int) -> int:
-        return line % self.n_sets
+        mask = self.set_mask
+        return line & mask if mask >= 0 else line % self.n_sets
 
     # -- operations ------------------------------------------------------------
 
@@ -85,7 +93,7 @@ class Cache:
                 s.remove(line)
                 s.insert(0, line)
             return None
-        if len(s) >= self.cfg.assoc:
+        if len(s) >= self.assoc:
             vline = s.pop()
             vstate = self._states.pop(vline)
             self.evictions += 1

@@ -16,7 +16,7 @@ from ..core.config import SimConfig
 from ..core.stats import StatsRegistry
 from .cache import Cache, LineState
 from .coherence import make_protocol
-from .pagetable import MajorFault, Vmm
+from .pagetable import KERNEL_BASE, MajorFault, Vmm
 
 
 class MemorySystem:
@@ -60,6 +60,28 @@ class MemorySystem:
         self._line_shift = be.l1.line_size.bit_length() - 1
         self.accesses = 0
 
+        # --- L1 fast-path filter -------------------------------------------
+        # A reference whose page is already translated and whose lines all
+        # hit this CPU's L1 with sufficient rights resolves here as raw dict
+        # probes, with no protocol/VMM involvement. The cached container
+        # references below are stable objects mutated in place by the slow
+        # path, so the filter always sees current state; every decline falls
+        # through to the unchanged full path having mutated nothing.
+        self.fast_hits = 0
+        self.fast_fallbacks = 0
+        self._fast_on = bool(getattr(cfg, "fastpath", True))
+        self._l1_latency = be.l1.latency
+        self._page_shift = self.vmm._page_shift
+        self._page_mask = mem.page_size - 1
+        self._kernel_table = self.vmm._kernel.table
+        self._spaces = self.vmm._spaces
+        self._l1_states = [c._states for c in self.l1s]
+        self._l1_sets = [c._sets for c in self.l1s]
+        self._l2_states = ([c._states for c in self.l2s]
+                           if self.l2s is not None else None)
+        self._l1_set_mask = self.l1s[0].set_mask
+        self._l1_nsets = self.l1s[0].n_sets
+
     # ------------------------------------------------------------------
 
     def access(self, pid: int, vaddr: int, size: int, write: bool,
@@ -70,6 +92,80 @@ class MemorySystem:
         On a major fault no timing progress is made — the engine must run
         the VM trap path and retry.
         """
+        if self._fast_on:
+            # fast path: page already translated + all lines hit L1 with
+            # sufficient rights (bit-identical to the full path below)
+            if vaddr >= KERNEL_BASE:
+                ppn = self._kernel_table.get(vaddr >> self._page_shift)
+            else:
+                sp = self._spaces.get(pid)
+                ppn = (sp.table.get(vaddr >> self._page_shift)
+                       if sp is not None else None)
+            if ppn is not None:
+                paddr = (ppn << self._page_shift) | (vaddr & self._page_mask)
+                shift = self._line_shift
+                line = paddr >> shift
+                last = (paddr + (size or 1) - 1) >> shift
+                states = self._l1_states[cpu]
+                if line == last:
+                    st = states.get(line)
+                    if st is not None and (not write or st >= 2):
+                        self.l1s[cpu].hits += 1
+                        mask = self._l1_set_mask
+                        s = self._l1_sets[cpu][
+                            line & mask if mask >= 0
+                            else line % self._l1_nsets]
+                        if s[0] != line:
+                            s.remove(line)
+                            s.insert(0, line)
+                        if write and st == 2:   # EXCLUSIVE -> MODIFIED
+                            states[line] = 3
+                            l2s = self._l2_states
+                            if l2s is not None and line in l2s[cpu]:
+                                l2s[cpu][line] = 3
+                        self.accesses += 1
+                        self.fast_hits += 1
+                        lat = self._l1_latency
+                        return (lat + 4, None) if atomic else (lat, None)
+                else:
+                    # multi-line: qualify every line before mutating any,
+                    # so a decline leaves the caches untouched for the
+                    # full path to service from scratch
+                    ok = True
+                    sts = []
+                    l = line
+                    while l <= last:
+                        st = states.get(l)
+                        if st is None or (write and st < 2):
+                            ok = False
+                            break
+                        sts.append(st)
+                        l += 1
+                    if ok:
+                        nlines = last - line + 1
+                        self.l1s[cpu].hits += nlines
+                        sets = self._l1_sets[cpu]
+                        mask = self._l1_set_mask
+                        nsets = self._l1_nsets
+                        l2s = (self._l2_states[cpu]
+                               if self._l2_states is not None else None)
+                        for j in range(nlines):
+                            l = line + j
+                            s = sets[l & mask if mask >= 0 else l % nsets]
+                            if s[0] != l:
+                                s.remove(l)
+                                s.insert(0, l)
+                            if write and sts[j] == 2:
+                                states[l] = 3
+                                if l2s is not None and l in l2s:
+                                    l2s[l] = 3
+                        self.accesses += 1
+                        self.fast_hits += 1
+                        lat = self._l1_latency * nlines
+                        if atomic:
+                            lat += 4
+                        return lat, None
+            self.fast_fallbacks += 1
         paddr, major, minor = self.vmm.translate(pid, vaddr, write, cpu)
         if major is not None:
             return 0, major
@@ -85,6 +181,159 @@ class MemorySystem:
             latency += self._access_line(line, write, cpu, now + latency)
             line += 1
         return latency, None
+
+    # ------------------------------------------------------------------
+
+    def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
+                   sizes: list, pends: list, i: int, n: int, t: int,
+                   limit: int, horizon: int, clock=None):
+        """Service a run of batched references in one loop.
+
+        Replays exactly the sequence of :meth:`access` calls the engine's
+        per-reference loop would make: the reference at ``i`` issues at
+        ``t``; each later reference issues at the previous completion time
+        plus its pending cycles, and is consumed only while that stays
+        below ``horizon`` and fewer than ``limit`` references were served.
+        ``clock`` (the engine's global scheduler) is advanced to each
+        reference's issue time, exactly as the per-event loop does.
+        Returns ``(consumed, i, t, added_latency, major_fault)`` with ``i``
+        and ``t`` at the stop point (on a fault, the faulting reference's
+        index and issue time).
+
+        When a tracing tap has rebound ``access`` on the instance (e.g.
+        :class:`~repro.traces.memtrace.MemTraceRecorder`), every reference
+        is delegated through it so taps observe the full stream; otherwise
+        the L1 fast path is inlined here, which is the simulator's hottest
+        loop.
+        """
+        access = self.access
+        consumed = 0
+        added = 0
+        if "access" in self.__dict__ or not self._fast_on:
+            # tapped (or filter disabled): preserve the per-reference call
+            # stream through the instance attribute
+            while True:
+                k = kinds[i]
+                if clock is not None and t > clock.now:
+                    clock.now = t
+                lat, major = access(pid, addrs[i], sizes[i], k != 0, cpu,
+                                    t, atomic=(k == 2))
+                consumed += 1
+                if major is not None:
+                    return consumed, i, t, added, major
+                added += lat
+                t += lat
+                i += 1
+                if i >= n or consumed >= limit:
+                    return consumed, i, t, added, None
+                nt = t + pends[i]
+                if nt >= horizon:
+                    return consumed, i, t, added, None
+                t = nt
+        # untapped hot loop: locals bound once, fast path inlined; any
+        # reference the filter declines goes through the normal access()
+        # (which re-probes, counts the fallback, and walks the full path)
+        kbase = KERNEL_BASE
+        ktable_get = self._kernel_table.get
+        spaces_get = self._spaces.get
+        # pid is constant for the run; the space's table dict is mutated in
+        # place by the fallback path (minor faults), never replaced mid-run,
+        # so its bound .get stays valid. A space that does not exist yet can
+        # be created by a fallback access, so retry the lookup until found.
+        sp = spaces_get(pid)
+        utable_get = sp.table.get if sp is not None else None
+        pshift = self._page_shift
+        pmask = self._page_mask
+        shift = self._line_shift
+        states = self._l1_states[cpu]
+        states_get = states.get
+        sets = self._l1_sets[cpu]
+        mask = self._l1_set_mask
+        nsets = self._l1_nsets
+        l1 = self.l1s[cpu]
+        l2s = self._l2_states[cpu] if self._l2_states is not None else None
+        l1_lat = self._l1_latency
+        while True:
+            vaddr = addrs[i]
+            k = kinds[i]
+            if clock is not None and t > clock.now:
+                clock.now = t
+            if vaddr >= kbase:
+                ppn = ktable_get(vaddr >> pshift)
+            elif utable_get is not None:
+                ppn = utable_get(vaddr >> pshift)
+            else:
+                sp = spaces_get(pid)
+                if sp is not None:
+                    utable_get = sp.table.get
+                    ppn = utable_get(vaddr >> pshift)
+                else:
+                    ppn = None
+            lat = -1
+            if ppn is not None:
+                paddr = (ppn << pshift) | (vaddr & pmask)
+                line = paddr >> shift
+                size = sizes[i]
+                last = (paddr + (size or 1) - 1) >> shift
+                if line == last:
+                    st = states_get(line)
+                    if st is not None and (k == 0 or st >= 2):
+                        l1.hits += 1
+                        s = sets[line & mask if mask >= 0 else line % nsets]
+                        if s[0] != line:
+                            s.remove(line)
+                            s.insert(0, line)
+                        if k != 0 and st == 2:   # EXCLUSIVE -> MODIFIED
+                            states[line] = 3
+                            if l2s is not None and line in l2s:
+                                l2s[line] = 3
+                        self.accesses += 1
+                        self.fast_hits += 1
+                        lat = l1_lat + 4 if k == 2 else l1_lat
+                else:
+                    ok = True
+                    sts = []
+                    l = line
+                    while l <= last:
+                        st = states_get(l)
+                        if st is None or (k != 0 and st < 2):
+                            ok = False
+                            break
+                        sts.append(st)
+                        l += 1
+                    if ok:
+                        nlines = last - line + 1
+                        l1.hits += nlines
+                        for j in range(nlines):
+                            l = line + j
+                            s = sets[l & mask if mask >= 0 else l % nsets]
+                            if s[0] != l:
+                                s.remove(l)
+                                s.insert(0, l)
+                            if k != 0 and sts[j] == 2:
+                                states[l] = 3
+                                if l2s is not None and l in l2s:
+                                    l2s[l] = 3
+                        self.accesses += 1
+                        self.fast_hits += 1
+                        lat = l1_lat * nlines
+                        if k == 2:
+                            lat += 4
+            if lat < 0:
+                lat, major = access(pid, vaddr, sizes[i], k != 0, cpu, t,
+                                    atomic=(k == 2))
+                if major is not None:
+                    return consumed + 1, i, t, added, major
+            consumed += 1
+            added += lat
+            t += lat
+            i += 1
+            if i >= n or consumed >= limit:
+                return consumed, i, t, added, None
+            nt = t + pends[i]
+            if nt >= horizon:
+                return consumed, i, t, added, None
+            t = nt
 
     # ------------------------------------------------------------------
 

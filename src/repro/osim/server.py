@@ -129,6 +129,26 @@ class Sys:
         k = self.k
         total = 0
         off = 0
+        if self.proc.batching:
+            # batched pipeline: same references and per-line compute cost,
+            # published as EventBatches instead of per-reference yields
+            clock = self.proc.clock
+            cap = ev.BATCH_CAP
+            batch = ev.acquire_batch()
+            while off < nbytes:
+                step = min(line, nbytes - off)
+                k.compute(COPY_WORK_PER_LINE)
+                batch.append(0, src + off, step, clock.pending)
+                clock.pending = 0
+                batch.append(1, dst + off, step, 0)
+                if batch.n >= cap:
+                    total += yield batch
+                    batch.reset()
+                off += line
+            if batch.n:
+                total += yield batch
+            ev.release_batch(batch)
+            return total
         while off < nbytes:
             step = min(line, nbytes - off)
             k.compute(COPY_WORK_PER_LINE)

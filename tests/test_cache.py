@@ -112,6 +112,50 @@ def test_occupancy_never_exceeds_capacity(lines):
             assert len(s) <= 2
 
 
+def test_set_mask_matches_geometry():
+    assert small_cache(sets=4).set_mask == 3
+    assert small_cache(sets=8).set_mask == 7
+    # 3 sets (size = 3 * assoc * line) is legal and takes the modulo path
+    assert small_cache(sets=3).set_mask == -1
+    assert small_cache(sets=1).set_mask == 0
+
+
+def test_set_index_mask_equals_modulo():
+    """The pow2 mask fast path must index exactly like ``line % n_sets``."""
+    c = small_cache(sets=8)
+    for line in range(0, 200, 7):
+        assert c._set_of(line) == line % c.n_sets
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                max_size=300))
+def test_mask_and_modulo_paths_agree(lines):
+    """On a pow2 geometry the mask fast path and the generic modulo fallback
+    must be indistinguishable: same stats, same resident lines, same LRU."""
+    fast = small_cache(assoc=2, sets=4)
+    slow = small_cache(assoc=2, sets=4)
+    assert fast.set_mask == 3
+    slow.set_mask = -1          # force the generic `line % n_sets` path
+    for ln in lines:
+        for c in (fast, slow):
+            if c.lookup(ln) is None:
+                c.insert(ln, LineState.SHARED)
+    assert (fast.hits, fast.misses, fast.evictions, fast.writebacks) == \
+           (slow.hits, slow.misses, slow.evictions, slow.writebacks)
+    assert fast._states == slow._states
+    assert fast._sets == slow._sets
+
+
+def test_non_pow2_set_count_maps_by_modulo():
+    c = small_cache(assoc=1, sets=3)
+    for line in (0, 3, 6):       # all map to set 0 under modulo-3
+        c.insert(line, LineState.SHARED)
+    assert c.occupancy() == 1    # each fill evicted the previous one
+    assert c.evictions == 2
+    assert c.contains(6)
+
+
 @settings(max_examples=60)
 @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
                 max_size=200))

@@ -86,6 +86,77 @@ def test_next_event_time():
     assert c.next_event_time() == 7
 
 
+def test_duplicate_mark_running_is_idempotent():
+    # regression: the scan set used to be a list, so double mark_running
+    # could enter a process twice and skew selection / running()
+    c = Communicator(2)
+    a = proc_with_event("a", 10)
+    c.register(a)
+    c.mark_running(a)
+    c.mark_running(a)
+    assert c.running() == [a]
+    c.mark_not_running(a)
+    assert c.running() == []
+    assert c.select() is None
+
+
+def test_batch_horizon_none_without_rival():
+    c = Communicator(2)
+    a = proc_with_event("a", 10)
+    c.register(a)
+    c.mark_running(a)
+    assert c.batch_horizon(a) is None
+    best, hz = c.select_horizon()
+    assert best is a and hz is None
+
+
+def test_batch_horizon_tie_break_directions():
+    # winner has the smaller pid: it also wins the tie at t2, so the
+    # horizon extends one cycle past the rival's timestamp
+    c = Communicator(2)
+    a = proc_with_event("a", 10)     # lower pid
+    b = proc_with_event("b", 40)
+    for p in (a, b):
+        c.register(p)
+        c.mark_running(p)
+    assert a.pid < b.pid
+    assert c.select() is a
+    assert c.batch_horizon(a) == 41
+    # winner has the larger pid: it loses the tie, horizon is exactly t2
+    a.port_event.time = 40
+    b.port_event.time = 10
+    assert c.select() is b
+    assert c.batch_horizon(b) == 40
+
+
+def test_batch_horizon_uses_second_best_rival():
+    c = Communicator(3)
+    a = proc_with_event("a", 5)
+    b = proc_with_event("b", 90)
+    d = proc_with_event("d", 30)
+    for p in (a, b, d):
+        c.register(p)
+        c.mark_running(p)
+    best, hz = c.select_horizon()
+    assert best is a
+    assert hz == 31          # d is the binding rival, a wins the tie
+
+
+def test_select_tie_break_with_horizon_active():
+    # equal event times resolve by pid whether or not a horizon is computed
+    c = Communicator(2)
+    a = proc_with_event("a", 25)
+    b = proc_with_event("b", 25)
+    for p in (a, b):
+        c.register(p)
+        c.mark_running(p)
+    lo, hi = (a, b) if a.pid < b.pid else (b, a)
+    best, hz = c.select_horizon()
+    assert best is lo
+    assert hz == 25 + 1      # lo also wins future ties at t == 25
+    assert c.batch_horizon(hi) == 25   # hi would lose the tie
+
+
 def test_cpu_state_irq_flag():
     s = CpuState(0)
     assert not s.irq_requested

@@ -53,3 +53,51 @@ def test_event_defaults():
     e = ev.advance()
     assert e.addr == 0 and e.size == 0 and e.arg is None
     assert e.time == 0 and e.pid == -1
+
+
+def test_event_batch_kind_protocol():
+    b = ev.EventBatch()
+    assert b.kind == ev.EvKind.BATCH
+    assert b.arg is None
+    assert b.n == 0 and b.cursor == 0 and b.total == 0
+
+
+def test_event_batch_append_and_reset():
+    b = ev.EventBatch()
+    b.append(int(ev.EvKind.READ), 0x100, 4, 10)
+    b.append(int(ev.EvKind.WRITE), 0x200, 8, 0)
+    assert b.n == 2
+    assert b.kinds == [0, 1]
+    assert b.addrs == [0x100, 0x200]
+    assert b.sizes == [4, 8]
+    assert b.pendings == [10, 0]
+    b.cursor = 1
+    b.total = 99
+    b.depth = 3
+    b.reset()
+    assert b.n == 0 and b.cursor == 0 and b.total == 0 and b.depth == 0
+    assert not b.kinds and not b.addrs and not b.sizes and not b.pendings
+
+
+def test_batch_pool_reuses_released_objects():
+    ev._batch_pool.clear()
+    b = ev.acquire_batch()
+    b.append(0, 0x10, 4, 0)
+    ev.release_batch(b)
+    assert b.n == 0          # released batches come back clean
+    again = ev.acquire_batch()
+    assert again is b
+    ev.release_batch(again)
+
+
+def test_batch_pool_is_bounded():
+    ev._batch_pool.clear()
+    batches = [ev.acquire_batch() for _ in range(ev._BATCH_POOL_MAX + 8)]
+    for b in batches:
+        ev.release_batch(b)
+    assert len(ev._batch_pool) == ev._BATCH_POOL_MAX
+
+
+def test_batch_cap_is_sane():
+    # BATCH_CAP bounds producer run-ahead; engine logic assumes >= 1
+    assert ev.BATCH_CAP >= 1
