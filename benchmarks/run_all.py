@@ -79,6 +79,19 @@ def main(argv=None) -> int:
             except (OSError, ValueError):
                 keys = "<unreadable>"
             print(f"  {a.name}: {keys}")
+        speedups = []
+        for a in artifacts:
+            try:
+                data = json.loads(a.read_text())
+            except (OSError, ValueError):
+                continue
+            sp = data.get("speedup")
+            if isinstance(sp, (int, float)):
+                speedups.append((a.name, sp, data.get("workload", "")))
+        if speedups:
+            print("speedups:")
+            for name, sp, workload in speedups:
+                print(f"  {name:28s} {sp:6.2f}x  {workload}")
     return 1 if failed else 0
 
 

@@ -197,6 +197,11 @@ class SimConfig:
     #: turn off to force the one-event-per-reference path, e.g. for
     #: equivalence testing or interleaving ablations)
     fastpath: bool = True
+    #: basic-block translation cache for interpreted ISA frontends: compile
+    #: each block to a specialized closure (bit-identical results; see
+    #: src/repro/isa/translate.py). Turn off to force the generic opcode
+    #: dispatch loop, e.g. for equivalence testing.
+    translate: bool = True
 
     def validate(self) -> "SimConfig":
         if self.num_cpus <= 0:

@@ -84,6 +84,8 @@ class Engine:
         #: frontends publish EventBatches instead of per-reference events
         #: (ParallelEngine turns this off: its proxies stream plain events)
         self._frontend_batching = bool(cfg.fastpath)
+        #: ISA frontends run through the basic-block translation cache
+        self._frontend_translate = bool(cfg.translate)
         #: batched-pipeline observability: batches consumed, references
         #: consumed, and why each consume loop stopped
         self.batch_stats: Dict[str, int] = {
@@ -151,8 +153,11 @@ class Engine:
                 machine.pending = v
 
         batched = self._frontend_batching
-        return self.spawn(name, lambda _api: interp.run(batched=batched),
-                          clock=_MachineClock())
+        translate = self._frontend_translate
+        return self.spawn(
+            name,
+            lambda _api: interp.run(batched=batched, translate=translate),
+            clock=_MachineClock())
 
     def mmap_alloc(self, pid: int, size: int) -> int:
         """Pick a free address in the mmap region (page aligned)."""

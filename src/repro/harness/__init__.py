@@ -2,7 +2,7 @@
 measurement (Tables 2–3), and ASCII table rendering for the benches."""
 
 from .profile import (ProfileRow, fastpath_summary, profile_row,
-                      top_oscall_table)
+                      top_oscall_table, translate_summary)
 from .slowdown import SlowdownResult, measure_slowdown
 from .tables import render_table
 from .hostmodel import (HostCosts, HostPrediction, measure_context_switch,
@@ -11,6 +11,7 @@ from .hostmodel import (HostCosts, HostPrediction, measure_context_switch,
 __all__ = [
     "ProfileRow",
     "fastpath_summary",
+    "translate_summary",
     "profile_row",
     "top_oscall_table",
     "SlowdownResult",

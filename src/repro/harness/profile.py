@@ -85,3 +85,19 @@ def fastpath_summary(engine) -> dict:
     out.update({f"batch_{k}": v for k, v in bs.items()})
     out["refs_per_batch"] = (bs["refs"] / bs["batches"]) if bs["batches"] else 0.0
     return out
+
+
+def translate_summary(engine) -> dict:
+    """Observability row for the basic-block translation cache.
+
+    ``enabled`` reflects the engine's frontend setting; the counters are the
+    process-wide translation-cache stats (programs/blocks translated, shared
+    code-cache hit rate, and interpreter fallbacks) — see
+    :mod:`repro.isa.translate`.
+    """
+    from ..isa.translate import cache_stats
+    out = {"enabled": bool(getattr(engine, "_frontend_translate", False))}
+    out.update(cache_stats())
+    compiles = out["code_hits"] + out["code_misses"]
+    out["code_hit_rate"] = (out["code_hits"] / compiles) if compiles else 0.0
+    return out

@@ -78,7 +78,8 @@ def _decode_reply(msg) -> object:
 
 def _worker_main(conn: Connection, spec_name: str, program_text: str,
                  segments: list, regs: dict,
-                 cpu_affinity: Optional[frozenset] = None) -> None:
+                 cpu_affinity: Optional[frozenset] = None,
+                 translate: bool = True) -> None:
     """Child-process body: interpret and stream events."""
     if cpu_affinity:
         try:
@@ -92,7 +93,7 @@ def _worker_main(conn: Connection, spec_name: str, program_text: str,
     m = Machine(dm)
     for r, v in regs.items():
         m.regs[r] = v
-    gen = Interpreter(prog, m).run()
+    gen = Interpreter(prog, m).run(translate=translate)
     batch: list = []
 
     def flush() -> None:
@@ -175,7 +176,7 @@ class ParallelEngine(Engine):
         p = self._ctx.Process(
             target=_worker_main,
             args=(child, spec.name, spec.program_text, spec.segments,
-                  spec.regs, self._affinity),
+                  spec.regs, self._affinity, self._frontend_translate),
             daemon=True)
         p.start()
         child.close()

@@ -16,6 +16,8 @@ from .program import BasicBlock, Program
 from .assembler import assemble
 from .timing import cost_of, block_cost
 from .interpreter import Interpreter, Machine
+from .translate import (TranslatedProgram, TranslationError, cache_stats,
+                        translate)
 
 __all__ = [
     "Op",
@@ -27,4 +29,8 @@ __all__ = [
     "block_cost",
     "Interpreter",
     "Machine",
+    "TranslatedProgram",
+    "TranslationError",
+    "cache_stats",
+    "translate",
 ]

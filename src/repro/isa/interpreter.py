@@ -57,7 +57,8 @@ class Interpreter:
     # instrumented execution (frontend coroutine)
     # ------------------------------------------------------------------
 
-    def run(self, batched: bool = False) -> Generator[ev.Event, Any, int]:
+    def run(self, batched: bool = False,
+            translate: bool = False) -> Generator[ev.Event, Any, int]:
         """Execute instrumented; yields events, receives backend replies.
 
         With ``batched=True`` memory references are accumulated into a
@@ -68,8 +69,26 @@ class Interpreter:
         mode: each reference carries the pending cycles accumulated before
         it, so the engine reconstructs the exact issue times.
 
+        With ``translate=True`` execution goes through the basic-block
+        translation cache (:mod:`repro.isa.translate`): identical yields,
+        replies, state and return value, just a faster host loop. Programs
+        the translator cannot handle fall back here transparently.
+
         Returns the program's exit status (r3 at HALT).
         """
+        if translate:
+            from .translate import (CACHE_STATS, TranslationError,
+                                    translated_run)
+            try:
+                return translated_run(self.program, self.machine,
+                                      batched=batched)
+            except TranslationError:
+                CACHE_STATS["fallbacks"] += 1
+        return self._run_interpreted(batched)
+
+    def _run_interpreted(self,
+                         batched: bool = False) -> Generator[ev.Event, Any, int]:
+        """The generic dispatch loop (reference semantics for translation)."""
         m = self.machine
         regs = m.regs
         blocks = self.program.blocks
@@ -312,8 +331,25 @@ class Interpreter:
     # raw execution (no simulation hooks) — Table 2 baseline
     # ------------------------------------------------------------------
 
-    def run_raw(self, max_instrs: int = 1 << 62) -> int:
-        """Execute natively: no events, no timing. Returns exit status."""
+    def run_raw(self, max_instrs: int = 1 << 62,
+                translate: bool = False) -> int:
+        """Execute natively: no events, no timing. Returns exit status.
+
+        ``translate=True`` routes through the basic-block translation cache
+        (same results, faster host loop; falls back here when a program
+        cannot be translated).
+        """
+        if translate:
+            from .translate import (CACHE_STATS, TranslationError,
+                                    translated_run_raw)
+            try:
+                return translated_run_raw(self.program, self.machine,
+                                          max_instrs)
+            except TranslationError:
+                CACHE_STATS["fallbacks"] += 1
+        return self._run_raw_interpreted(max_instrs)
+
+    def _run_raw_interpreted(self, max_instrs: int = 1 << 62) -> int:
         m = self.machine
         regs = m.regs
         mem = m.mem

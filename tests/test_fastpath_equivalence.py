@@ -26,8 +26,8 @@ from repro.traces.memtrace import MemTraceRecorder
 # workload builders — each returns (engine, finish) for one fastpath setting
 # ---------------------------------------------------------------------------
 
-def build_oltp(fastpath: bool):
-    eng = Engine(complex_backend(num_cpus=2, fastpath=fastpath))
+def build_oltp(**cfg):
+    eng = Engine(complex_backend(num_cpus=2, **cfg))
     db = MiniDb(eng, tpcc_catalog(1, 0.005), pool_frames=16, seed=3)
     db.setup()
     drv = TpccDriver(db, nagents=2, tx_per_agent=3, seed=3,
@@ -42,8 +42,8 @@ def build_oltp(fastpath: bool):
     return eng, finish
 
 
-def build_dss(fastpath: bool):
-    eng = Engine(complex_backend(num_cpus=2, fastpath=fastpath))
+def build_dss(**cfg):
+    eng = Engine(complex_backend(num_cpus=2, **cfg))
     cat = tpcd_catalog(scale=0.0001)
     db = MiniDb(eng, cat, pool_frames=16)
     db.setup()
@@ -58,9 +58,9 @@ def build_dss(fastpath: bool):
     return eng, finish
 
 
-def build_web(fastpath: bool):
+def build_web(**cfg):
     eng = Engine(complex_backend(num_cpus=4, coherence="mesi", num_nodes=1,
-                                 fastpath=fastpath))
+                                 **cfg))
     fset = generate_fileset(eng.os_server.fs, ndirs=1, size_scale=0.1)
     trace = make_trace(fset, nrequests=8, seed=3)
     prefork_web_server(eng, nworkers=2)
@@ -75,8 +75,8 @@ def build_web(fastpath: bool):
     return eng, finish
 
 
-def build_splash(fastpath: bool):
-    eng = Engine(complex_backend(num_cpus=4, fastpath=fastpath))
+def build_splash(**cfg):
+    eng = Engine(complex_backend(num_cpus=4, **cfg))
     spawn_kernel(eng, "radix", 4, nkeys=512)
     return eng, eng.run
 
@@ -100,11 +100,11 @@ def _snapshot(eng, stats, rec):
     }
 
 
-def _run(build, fastpath):
+def _run(build, **cfg):
     # pids feed the selection tie-break and address-space keys; both runs
     # must see identical numbering
     SimProcess._next_pid[0] = 1
-    eng, finish = build(fastpath)
+    eng, finish = build(**cfg)
     rec = MemTraceRecorder.attach(eng, max_records=2_000_000)
     stats = finish()
     assert rec.dropped == 0
@@ -120,8 +120,8 @@ BATCHING_WORKLOADS = frozenset({"oltp", "dss", "webserver"})
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_fastpath_bit_identical(name):
     build = WORKLOADS[name]
-    snap_on, eng_on = _run(build, True)
-    snap_off, eng_off = _run(build, False)
+    snap_on, eng_on = _run(build, fastpath=True)
+    snap_off, eng_off = _run(build, fastpath=False)
     assert snap_on == snap_off
     # the fast run actually exercised the mechanisms...
     assert eng_on.memsys.fast_hits > 0
@@ -141,7 +141,7 @@ def test_fastpath_untapped_inline_loop_identical(name):
 
     def run(fastpath):
         SimProcess._next_pid[0] = 1
-        eng, finish = build(fastpath)
+        eng, finish = build(fastpath=fastpath)
         stats = finish()
         snap = _snapshot(eng, stats, rec=None)
         del snap["trace"]
@@ -155,7 +155,7 @@ def test_fastpath_untapped_inline_loop_identical(name):
 
 
 def test_fastpath_summary_shape():
-    snap, eng = _run(build_dss, True)
+    snap, eng = _run(build_dss, fastpath=True)
     del snap
     s = fastpath_summary(eng)
     assert s["fast_hits"] > 0

@@ -244,6 +244,125 @@ class TestInterpreter:
             Interpreter(p, Machine()).run_raw(max_instrs=1000)
 
 
+#: per-opcode exercise programs: every Op must run through both the raw and
+#: the instrumented loop (and, via translate=True, through the translated
+#: closures). Conditional branches cover both the taken and fall-through arm.
+OP_PROGRAMS = {
+    Op.ADD: "li r1, 2\nli r2, 3\nadd r3, r1, r2\nhalt",
+    Op.SUB: "li r1, 9\nli r2, 3\nsub r3, r1, r2\nhalt",
+    Op.MUL: "li r1, 6\nli r2, 7\nmul r3, r1, r2\nhalt",
+    Op.DIV: "li r1, 7\nli r2, 2\ndiv r3, r1, r2\ndiv r4, r1, r0\nhalt",
+    Op.MOD: "li r1, 7\nli r2, 4\nmod r3, r1, r2\nmod r4, r1, r0\nhalt",
+    Op.AND: "li r1, 12\nli r2, 10\nand r3, r1, r2\nhalt",
+    Op.OR: "li r1, 12\nli r2, 10\nor r3, r1, r2\nhalt",
+    Op.XOR: "li r1, 12\nli r2, 10\nxor r3, r1, r2\nhalt",
+    Op.SHL: "li r1, 3\nli r2, 4\nshl r3, r1, r2\nhalt",
+    Op.SHR: "li r1, 48\nli r2, 4\nshr r3, r1, r2\nhalt",
+    Op.ADDI: "li r1, 5\naddi r3, r1, 37\nhalt",
+    Op.MULI: "li r1, 6\nmuli r3, r1, 7\nhalt",
+    Op.ANDI: "li r1, 0x1ff\nandi r3, r1, 0xff\nhalt",
+    Op.LI: "li r3, 42\nhalt",
+    Op.MOV: "li r1, 42\nmov r3, r1\nhalt",
+    Op.CMP: "li r1, 5\nli r2, 9\ncmp r3, r1, r2\ncmp r4, r2, r1\n"
+            "cmp r5, r1, r1\nhalt",
+    Op.FADD: "li r1, 2\nli r2, 3\nfadd r3, r1, r2\nhalt",
+    Op.FSUB: "li r1, 2\nli r2, 3\nfsub r3, r1, r2\nhalt",
+    Op.FMUL: "li r1, 2\nli r2, 3\nfmul r3, r1, r2\nhalt",
+    Op.FDIV: "li r1, 3\nli r2, 2\nfdiv r3, r1, r2\nfdiv r4, r1, r0\nhalt",
+    Op.FMA: "li r1, 2\nli r2, 3\nli r3, 10\nfma r3, r1, r2\nhalt",
+    Op.LOAD: "li r10, 0x1000\nli r1, 7\nstore r1, r10, 8, 4\n"
+             "load r3, r10, 8, 4\nhalt",
+    Op.STORE: "li r10, 0x1000\nli r1, 7\nstore r1, r10, 12, 8\nhalt",
+    Op.LOADX: "li r10, 0x1000\nli r1, 16\nli r2, 5\nstorex r2, r10, r1, 4\n"
+              "loadx r3, r10, r1, 4\nhalt",
+    Op.STOREX: "li r10, 0x1000\nli r1, 16\nli r2, 5\n"
+               "storex r2, r10, r1, 4\nhalt",
+    Op.LWARX: "li r10, 0x1000\nlwarx r3, r10\nhalt",
+    Op.STWCX: "li r10, 0x1000\nli r11, 0x1004\nli r1, 9\nlwarx r2, r10\n"
+              "stwcx r1, r10\nlwarx r2, r10\nstwcx r1, r11\nhalt",
+    Op.B: "b over\nli r3, 1\nover:\nli r3, 42\nhalt",
+    Op.BEQ: "li r1, 5\nli r2, 5\nbeq r1, r2, t\nhalt\nt:\nli r3, 1\n"
+            "beq r1, r0, u\nli r4, 2\nu:\nhalt",
+    Op.BNE: "li r1, 5\nli r2, 6\nbne r1, r2, t\nhalt\nt:\nli r3, 1\n"
+            "bne r1, r1, u\nli r4, 2\nu:\nhalt",
+    Op.BLT: "li r1, 5\nli r2, 6\nblt r1, r2, t\nhalt\nt:\nli r3, 1\n"
+            "blt r2, r1, u\nli r4, 2\nu:\nhalt",
+    Op.BGE: "li r1, 6\nli r2, 5\nbge r1, r2, t\nhalt\nt:\nli r3, 1\n"
+            "bge r2, r1, u\nli r4, 2\nu:\nhalt",
+    Op.BNZ: "li r1, 1\nbnz r1, t\nhalt\nt:\nli r3, 1\nbnz r0, u\n"
+            "li r4, 2\nu:\nhalt",
+    Op.BZ: "li r1, 0\nbz r1, t\nhalt\nt:\nli r3, 1\nbz r2, u\n"
+           "li r4, 2\nu:\nhalt",
+    Op.BL: "bl fn\nli r3, 42\nhalt\nfn:\nli r4, 7\nret",
+    Op.RET: "bl fn\nhalt\nfn:\nli r3, 42\nret",
+    Op.LOCK: "li r1, 3\nlock r1\nunlock r1\nhalt",
+    Op.UNLOCK: "li r1, 3\nlock r1\nunlock r1\nhalt",
+    Op.BARRIER: "li r1, 1\nli r2, 1\nbarrier r1, r2\nhalt",
+    Op.SYSCALL: "syscall getpid, 0\nhalt",
+    Op.HALT: "li r3, 42\nhalt",
+    Op.NOP: "nop\nli r3, 42\nhalt",
+    Op.SIMON: "simoff\nli r10, 0x1000\nload r1, r10, 0, 4\nsimon\n"
+              "load r2, r10, 0, 4\nhalt",
+    Op.SIMOFF: "simoff\nli r10, 0x1000\nstore r0, r10, 0, 4\nsimon\nhalt",
+}
+
+
+class TestOpcodeCoverage:
+    """Every opcode runs through both loops, interpreted and translated."""
+
+    def test_table_is_complete(self):
+        assert set(OP_PROGRAMS) == set(Op)
+
+    @staticmethod
+    def _fresh():
+        dm = DataMemory()
+        dm.map_segment(0x1000, 4096)
+        return Machine(dm), dm
+
+    @classmethod
+    def _raw(cls, prog, translate):
+        m, dm = cls._fresh()
+        rc = Interpreter(prog, m).run_raw(translate=translate)
+        return (rc, list(m.regs), m.instret, m.halted,
+                {k: v for _b, _s, st in dm._segs for k, v in st.data.items()})
+
+    @classmethod
+    def _instrumented(cls, prog, translate, batched):
+        m, dm = cls._fresh()
+        gen = Interpreter(prog, m).run(batched=batched, translate=translate)
+        stream = []
+        try:
+            evt = gen.send(None)
+            while True:
+                if hasattr(evt, "kinds"):       # EventBatch
+                    stream.append(("b", tuple(evt.kinds), tuple(evt.addrs),
+                                   tuple(evt.sizes), tuple(evt.pendings)))
+                    reply = 0
+                else:
+                    stream.append((int(evt.kind), evt.addr, evt.size,
+                                   evt.arg))
+                    reply = (SyscallResult(42)
+                             if evt.kind == EvKind.SYSCALL else 1)
+                evt = gen.send(reply)
+        except StopIteration as si:
+            return (stream, si.value, list(m.regs), m.instret, m.pending)
+
+    @pytest.mark.parametrize("op", sorted(OP_PROGRAMS, key=lambda o: o.value),
+                             ids=lambda o: o.name)
+    def test_raw_and_instrumented_interpreted_vs_translated(self, op):
+        src = OP_PROGRAMS[op]
+        # static sanity: the snippet really contains the opcode under test
+        assert any(i.op == op
+                   for b in assemble(src).blocks for i in b.instrs), op
+        prog_i = assemble(src, "op_i")
+        prog_t = assemble(src, "op_t")
+        assert self._raw(prog_i, False) == self._raw(prog_t, True)
+        for batched in (False, True):
+            got_i = self._instrumented(prog_i, False, batched)
+            got_t = self._instrumented(prog_t, True, batched)
+            assert got_i == got_t, (op, batched)
+
+
 class TestDataMemory:
     def test_unmapped_access_raises(self):
         from repro.core.errors import MemoryError_

@@ -1,0 +1,412 @@
+"""Bit-identity of the basic-block translation cache.
+
+Translation (SimConfig.translate / Interpreter.run(translate=True)) is a
+pure host-side optimisation: the compiled per-block closures must produce
+*exactly* the interpreter's behaviour — same registers, memory, instret,
+event streams (including batch boundaries and pending-cycle stamps), same
+simulated cycles and stats — on engine workloads, host-parallel workers and
+seeded random programs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Engine, complex_backend
+from repro.core import events as ev
+from repro.core.frontend import SimProcess
+from repro.harness import translate_summary
+from repro.host import ParallelEngine, WorkerSpec
+from repro.isa import (BasicBlock, Instr, Interpreter, Machine, Op, Program,
+                       assemble, translate)
+from repro.isa.memory import DataMemory
+from repro.traces.memtrace import MemTraceRecorder
+
+from .test_fastpath_equivalence import WORKLOADS, _run, _snapshot
+
+
+# ---------------------------------------------------------------------------
+# paper workloads: the translate flag must not perturb any simulation path
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workloads_bit_identical(name):
+    snap_on, _ = _run(WORKLOADS[name], translate=True)
+    snap_off, _ = _run(WORKLOADS[name], translate=False)
+    assert snap_on == snap_off
+
+
+# ---------------------------------------------------------------------------
+# ISA-interpreter engine workload — the path translation actually rewrites
+# ---------------------------------------------------------------------------
+
+#: two instrumented frontends: shared-lock increments, a SIMOFF stretch,
+#: a syscall, atomics, and a closing barrier — every translated event kind
+ISA_KERNEL = """
+    li r10, 0x100000
+    li r1, 0
+    li r2, 2000
+    syscall getpid, 0
+    mov r9, r3
+loop:
+    loadx r3, r10, r1, 4
+    addi r3, r3, 1
+    mul r4, r3, r3
+    storex r3, r10, r1, 4
+    add r6, r6, r4
+    addi r1, r1, 4
+    blt r1, r2, loop
+    simoff
+    li r1, 0
+off:
+    loadx r3, r10, r1, 4
+    add r6, r6, r3
+    addi r1, r1, 4
+    blt r1, r2, off
+    simon
+    lock r5
+    addi r6, r6, 1
+    unlock r5
+    addi r11, r10, 64
+    lwarx r3, r11
+    addi r3, r3, 1
+    stwcx r3, r11
+    li r7, 1
+    li r8, 2
+    barrier r7, r8
+    li r3, 0
+    halt
+"""
+
+
+def build_isa(**cfg):
+    eng = Engine(complex_backend(num_cpus=2, **cfg))
+    for i in range(2):
+        dm = DataMemory()
+        dm.map_segment(0x100000, 1 << 22)
+        eng.spawn_interpreter(
+            f"w{i}", Interpreter(assemble(ISA_KERNEL, f"w{i}"), Machine(dm)))
+    return eng, eng.run
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_isa_engine_bit_identical_tapped(fastpath):
+    snap_on, eng_on = _run(build_isa, translate=True, fastpath=fastpath)
+    snap_off, _ = _run(build_isa, translate=False, fastpath=fastpath)
+    assert snap_on == snap_off
+    assert eng_on._frontend_translate
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_isa_engine_bit_identical_untapped(fastpath):
+    def run(tr):
+        SimProcess._next_pid[0] = 1
+        eng, finish = build_isa(translate=tr, fastpath=fastpath)
+        snap = _snapshot(eng, finish(), rec=None)
+        del snap["trace"]
+        return snap
+
+    assert run(True) == run(False)
+
+
+def test_parallel_workers_bit_identical():
+    def run(tr):
+        SimProcess._next_pid[0] = 1
+        eng = ParallelEngine(complex_backend(num_cpus=2, translate=tr))
+        with eng:
+            for i in range(2):
+                eng.spawn_worker(WorkerSpec(f"w{i}", ISA_KERNEL))
+            st = eng.run()
+        return st.end_cycle, eng.events_processed, st.total_cpu().user
+
+    assert run(True) == run(False)
+
+
+# ---------------------------------------------------------------------------
+# differential fuzzing: seeded random programs, all three execution modes
+# ---------------------------------------------------------------------------
+
+_BASE = 4096
+_INT = (1, 2, 3, 4, 5, 6)         # integer value registers
+_FLT = (12, 13, 14)               # float value registers (FDIV taints them)
+
+
+def _random_body(rng: random.Random, n: int) -> list:
+    """Straight-line instruction mix. Integer and float registers are kept
+    disjoint (a float reaching ``&``/addressing would TypeError in both
+    implementations, but the fuzz wants *successful* runs); MUL/SHL results
+    are masked so values stay bounded across loops."""
+    out = []
+    for _ in range(n):
+        kind = rng.choice(("alu", "alu", "imm", "shift", "fpu",
+                           "mem", "mem", "atomic", "sync", "sim"))
+        d, a, b = (rng.choice(_INT) for _ in range(3))
+        if kind == "alu":
+            op = rng.choice(("add", "sub", "mul", "div", "mod",
+                             "and", "or", "xor", "cmp"))
+            out.append(f"{op} r{d}, r{a}, r{b}")
+            if op == "mul":
+                out.append(f"andi r{d}, r{d}, 0xffffffff")
+        elif kind == "imm":
+            op = rng.choice(("addi", "muli", "andi", "li", "mov"))
+            if op == "li":
+                out.append(f"li r{d}, {rng.randint(-64, 1024)}")
+            elif op == "mov":
+                out.append(f"mov r{d}, r{a}")
+            else:
+                out.append(f"{op} r{d}, r{a}, {rng.randint(0, 255)}")
+                if op == "muli":
+                    out.append(f"andi r{d}, r{d}, 0xffffffff")
+        elif kind == "shift":
+            out.append(f"andi r9, r{a}, 31")
+            out.append(f"{rng.choice(('shl', 'shr'))} r{d}, r{b}, r9")
+            out.append(f"andi r{d}, r{d}, 0xffffffff")
+        elif kind == "fpu":
+            op = rng.choice(("fadd", "fsub", "fmul", "fdiv", "fma"))
+            fd, fa, fb = (rng.choice(_FLT) for _ in range(3))
+            out.append(f"{op} r{fd}, r{fa}, r{fb}")
+        elif kind == "mem":
+            off = rng.randrange(0, 1021, 4)
+            sz = rng.choice((1, 4, 8))
+            if rng.random() < 0.5:
+                if rng.random() < 0.5:
+                    out.append(f"load r{d}, r10, {off}, {sz}")
+                else:
+                    out.append(f"store r{a}, r10, {off}, {sz}")
+            else:
+                out.append(f"andi r9, r{a}, 1020")
+                if rng.random() < 0.5:
+                    out.append(f"loadx r{d}, r10, r9, {sz}")
+                else:
+                    out.append(f"storex r{b}, r10, r9, {sz}")
+        elif kind == "atomic":
+            out.append(f"addi r11, r10, {rng.randrange(0, 1021, 4)}")
+            out.append(f"lwarx r{d}, r11")
+            if rng.random() < 0.7:      # success path; else lost reservation
+                out.append(f"addi r{d}, r{d}, 1")
+            else:
+                out.append(f"lwarx r{a}, r10")
+            out.append(f"stwcx r{d}, r11")
+        elif kind == "sync":
+            which = rng.random()
+            if which < 0.4:
+                out.append(f"lock r{a}")
+                out.append(f"unlock r{a}")
+            elif which < 0.7:
+                out.append(f"barrier r{a}, r{b}")
+            else:
+                out.append("syscall getpid, 0")
+        else:   # sim: a SIMOFF stretch with references inside
+            out.append("simoff")
+            out.append(f"load r{d}, r10, {rng.randrange(0, 1021, 4)}, 4")
+            out.append(f"add r{d}, r{d}, r{a}")
+            out.append("simon")
+    return out
+
+
+def random_program(seed: int) -> str:
+    """A seeded random program: forward-branching block chain (guaranteed
+    termination), helper calls, one bounded counted loop, then HALT."""
+    rng = random.Random(seed)
+    nb = rng.randint(4, 8)
+    nh = rng.randint(1, 3)
+    lines = [f"    li r10, {_BASE}"]
+    for r in _INT:
+        lines.append(f"    li r{r}, {rng.randint(0, 4096)}")
+    for r in _FLT:
+        lines.append(f"    li r{r}, {rng.randint(1, 64)}")
+    for i in range(nb):
+        lines.append(f"b{i}:")
+        lines += [f"    {ln}" for ln in _random_body(rng, rng.randint(2, 6))]
+        tgt = f"b{rng.randint(i + 1, nb - 1)}" if i + 1 < nb else "fin"
+        style = rng.random()
+        if style < 0.25:
+            pass                                    # fall through
+        elif style < 0.45:
+            lines.append(f"    b {tgt}")
+        elif style < 0.75:
+            cond = rng.choice(("beq", "bne", "blt", "bge"))
+            a, b = rng.choice(_INT), rng.choice(_INT)
+            lines.append(f"    {cond} r{a}, r{b}, {tgt}")
+        else:
+            lines.append(f"    bl h{rng.randrange(nh)}")
+    lines.append("fin:")
+    lines.append(f"    li r8, {rng.randint(3, 20)}")
+    lines.append("floop:")
+    lines += [f"    {ln}" for ln in _random_body(rng, rng.randint(1, 3))]
+    lines.append("    addi r8, r8, -1")
+    lines.append("    bnz r8, floop")
+    lines.append("    mov r3, r1")
+    lines.append("    halt")
+    for k in range(nh):
+        lines.append(f"h{k}:")
+        lines += [f"    {ln}" for ln in _random_body(rng, rng.randint(1, 2))]
+        lines.append("    ret")
+    return "\n".join(lines)
+
+
+def _fresh_machine():
+    dm = DataMemory()
+    dm.map_segment(_BASE, 4096)
+    return Machine(dm), dm
+
+
+def _mem_dump(dm):
+    return {b: dict(st.data) for b, _s, st in dm._segs}
+
+
+def _final_state(m, dm, rc):
+    return (rc, list(m.regs), m.instret, m.pending, m.halted,
+            m.reservation, list(m.stack), _mem_dump(dm))
+
+
+def run_raw_mode(prog, tr):
+    m, dm = _fresh_machine()
+    rc = Interpreter(prog, m).run_raw(translate=tr)
+    return _final_state(m, dm, rc)
+
+
+def run_instrumented(prog, tr, batched):
+    """Drive the coroutine with canned replies, recording every suspension
+    (event fields or full batch contents, plus the pending counter)."""
+    m, dm = _fresh_machine()
+    gen = Interpreter(prog, m).run(batched=batched, translate=tr)
+    stream = []
+    try:
+        evt = gen.send(None)
+        while True:
+            if isinstance(evt, ev.EventBatch):
+                stream.append(("batch", tuple(evt.kinds), tuple(evt.addrs),
+                               tuple(evt.sizes), tuple(evt.pendings),
+                               m.pending))
+                reply = evt.n
+            else:
+                stream.append((int(evt.kind), evt.addr, evt.size, evt.arg,
+                               m.pending))
+                reply = (ev.SyscallResult(42, 0)
+                         if evt.kind == ev.EvKind.SYSCALL else 7)
+            evt = gen.send(reply)
+    except StopIteration as si:
+        return stream, _final_state(m, dm, si.value)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_differential(seed):
+    prog_i = assemble(random_program(seed), f"fuzz{seed}")
+    prog_t = assemble(random_program(seed), f"fuzz{seed}")
+    assert run_raw_mode(prog_i, False) == run_raw_mode(prog_t, True)
+    for batched in (False, True):
+        si, fi = run_instrumented(prog_i, False, batched)
+        st, ft = run_instrumented(prog_t, True, batched)
+        assert fi == ft, f"final state diverged (batched={batched})"
+        assert si == st, f"event stream diverged (batched={batched})"
+
+
+def test_fuzz_streams_nontrivial():
+    """The fuzz corpus must actually exercise batching and sync yields."""
+    kinds = set()
+    batches = 0
+    for seed in range(12):
+        prog = assemble(random_program(seed), f"fz{seed}")
+        stream, _ = run_instrumented(prog, True, True)
+        for item in stream:
+            if item[0] == "batch":
+                batches += 1
+                kinds.update(item[1])
+            else:
+                kinds.add(item[0])
+    assert batches > 0
+    assert {0, 1, int(ev.EvKind.SYSCALL)} <= kinds
+
+
+# ---------------------------------------------------------------------------
+# structural edge cases
+# ---------------------------------------------------------------------------
+
+def test_dead_code_after_block_ender_ignored():
+    """Hand-built blocks may carry unreachable instructions after the
+    terminator; the interpreter breaks at the ender and so must the
+    translation (including the instret count)."""
+    prog = Program("dead")
+    prog.add_block(BasicBlock("main", [
+        Instr(Op.LI, 1, 5),
+        Instr(Op.HALT),
+        Instr(Op.LI, 1, 99),       # dead
+        Instr(Op.LI, 2, 77),       # dead
+    ]))
+    prog.resolve()
+    m1 = Machine()
+    Interpreter(prog, m1).run_raw(translate=False)
+    m2 = Machine()
+    Interpreter(prog, m2).run_raw(translate=True)
+    assert m1.regs[1] == m2.regs[1] == 5
+    assert m1.regs[2] == m2.regs[2] == 0
+    assert m1.instret == m2.instret == 2
+
+
+def test_untranslatable_program_falls_back():
+    """Operands the codegen cannot bake (here: an object immediate) must
+    fall back to the interpreter transparently."""
+    class Weird:
+        pass
+
+    prog = Program("weird")
+    prog.add_block(BasicBlock("main", [
+        Instr(Op.LI, 1, Weird()),
+        Instr(Op.HALT),
+    ]))
+    prog.resolve()
+    from repro.isa.translate import CACHE_STATS
+    fb0 = CACHE_STATS["fallbacks"]
+    m = Machine()
+    rc = Interpreter(prog, m).run_raw(translate=True)
+    assert rc == 0 and isinstance(m.regs[1], Weird)
+    assert CACHE_STATS["fallbacks"] == fb0 + 1
+
+
+def test_translation_cached_on_program():
+    prog = assemble("li r1, 1\nhalt", "cacheme")
+    tp1 = translate(prog)
+    tp2 = translate(prog)
+    assert tp1 is tp2
+    assert tp1.nblocks == len(prog.blocks)
+
+
+def test_ret_empty_stack_same_error():
+    from repro.core.errors import FrontendError
+    prog = assemble("ret", "retprog")
+    msgs = []
+    for tr in (False, True):
+        with pytest.raises(FrontendError) as ei:
+            Interpreter(prog, Machine()).run_raw(translate=tr)
+        msgs.append(str(ei.value))
+    assert msgs[0] == msgs[1]
+
+
+def test_max_instrs_guard_translated():
+    from repro.core.errors import FrontendError
+    prog = assemble("spin:\n    b spin", "spinprog")
+    with pytest.raises(FrontendError):
+        Interpreter(prog, Machine()).run_raw(max_instrs=1000, translate=True)
+
+
+def test_config_toggles_cleanly():
+    on = complex_backend(num_cpus=1)
+    off = complex_backend(num_cpus=1, translate=False)
+    assert on.translate and not off.translate
+    assert Engine(on)._frontend_translate
+    assert not Engine(off)._frontend_translate
+
+
+def test_translate_summary_shape():
+    SimProcess._next_pid[0] = 1
+    eng, finish = build_isa(translate=True)
+    finish()
+    s = translate_summary(eng)
+    assert s["enabled"]
+    assert s["programs"] >= 1
+    assert s["blocks"] >= 1
+    assert 0.0 <= s["code_hit_rate"] <= 1.0
+    assert s["fallbacks"] >= 0
