@@ -34,6 +34,7 @@ from .core.errors import (CompassError, ConfigError, DeadlockError,
 from .core.events import EvKind, Event, SyscallResult
 from .core.frontend import Proc, ProcState, SimProcess, WaitToken
 from .core.stats import StatsRegistry
+from .faults import FaultPlan, FaultRule
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,8 @@ __all__ = [
     "OSConfig",
     "DiskConfig",
     "EthernetConfig",
+    "FaultPlan",
+    "FaultRule",
     "simple_backend",
     "complex_backend",
     "with_os",

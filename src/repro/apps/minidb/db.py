@@ -90,7 +90,8 @@ class MiniDb:
         """Miss path: kreadv the page into the shared frame."""
         fd = self.fd(proc.process.pid, table)
         yield from proc.call("lseek", fd, pageno * PAGE_SIZE, 0)
-        r = yield from proc.call("kreadv", fd, frame_addr, PAGE_SIZE)
+        # interruptible I/O: restarted on injected EINTR (chaos testing)
+        r = yield from proc.call_retry("kreadv", fd, frame_addr, PAGE_SIZE)
         return Page(schema, r.data or b"")
 
     def write_page_out(self, proc: Proc, table: str, pageno: int,
@@ -99,7 +100,7 @@ class MiniDb:
         fd = self.fd(proc.process.pid, table)
         yield from proc.call("lseek", fd, pageno * PAGE_SIZE, 0)
         data = bytes(page.data) if page is not None else b"\0" * PAGE_SIZE
-        yield from proc.call("kwritev", fd, frame_addr, PAGE_SIZE, data)
+        yield from proc.call_retry("kwritev", fd, frame_addr, PAGE_SIZE, data)
 
     # -- record-level operations -------------------------------------------
 

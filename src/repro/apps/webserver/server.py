@@ -54,7 +54,8 @@ def worker_body(proc: Proc, listen_fd: int, stats: dict):
         if not r.ok:
             break
         cfd = r.value
-        r = yield from proc.call("kreadv", cfd, _REQ_BUF, 4096)
+        # interruptible I/O: restarted on injected EINTR (chaos testing)
+        r = yield from proc.call_retry("kreadv", cfd, _REQ_BUF, 4096)
         path = _parse_request(r.data or b"")
         quit_after = path == QUIT_PATH
         # user-mode request processing: parse, map URI, check config
@@ -87,13 +88,15 @@ def worker_body(proc: Proc, listen_fd: int, stats: dict):
 
         # header first, then the file in CHUNK pieces
         hdr = _response_header(size)
-        yield from proc.call("kwritev", cfd, _FILE_BUF, HEADER_BYTES, hdr)
+        yield from proc.call_retry("kwritev", cfd, _FILE_BUF, HEADER_BYTES,
+                                   hdr)
         sent = 0
         while sent < size:
-            r = yield from proc.call("kreadv", ffd, _FILE_BUF, CHUNK)
+            r = yield from proc.call_retry("kreadv", ffd, _FILE_BUF, CHUNK)
             if r.value <= 0:
                 break
-            yield from proc.call("kwritev", cfd, _FILE_BUF, r.value, r.data)
+            yield from proc.call_retry("kwritev", cfd, _FILE_BUF, r.value,
+                                       r.data)
             sent += r.value
         yield from proc.call("close", ffd)
         yield from proc.call("close", cfd)

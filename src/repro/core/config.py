@@ -202,6 +202,16 @@ class SimConfig:
     #: src/repro/isa/translate.py). Turn off to force the generic opcode
     #: dispatch loop, e.g. for equivalence testing.
     translate: bool = True
+    #: optional deterministic fault-injection plan (a repro.faults.FaultPlan;
+    #: kept untyped here to avoid a config -> faults import cycle). None or
+    #: an empty plan disables the subsystem entirely: no hooks are bound and
+    #: runs are bit-identical to a build without it.
+    faults: Optional[object] = None
+    #: engine watchdog: consecutive scheduler rounds with global time frozen
+    #: before the run is declared livelocked and aborted with a structured
+    #: DeadlockError. The default is far above anything a legitimate
+    #: workload produces at one cycle.
+    watchdog_rounds: int = 1_000_000
 
     def validate(self) -> "SimConfig":
         if self.num_cpus <= 0:
@@ -210,6 +220,10 @@ class SimConfig:
         self.os.validate()
         self.disk.validate()
         self.ethernet.validate()
+        if self.watchdog_rounds <= 0:
+            raise ConfigError("watchdog_rounds must be positive")
+        if self.faults is not None:
+            self.faults.validate()
         if self.backend.coherence == "mesi" and self.backend.memory.num_nodes > 1:
             raise ConfigError("MESI bus snooping models a single-node SMP")
         return self

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from .. import devices as _devices
 from .. import osim as _osim
+from ..faults import FaultInjector
 from ..mem.hierarchy import MemorySystem
 from ..mem.pagetable import MajorFault
 from . import events as ev
@@ -76,6 +77,14 @@ class Engine:
         # the OS server pairs threads with processes and owns the
         # category-1 syscall models (fs, sockets, ipc)
         self.os_server = _osim.OSServer(self)
+        #: seeded deterministic fault injection; with no (or an empty) plan
+        #: the injector is disabled, no hooks are bound anywhere, and runs
+        #: are bit-identical to a build without the subsystem
+        self.faults = FaultInjector(getattr(cfg, "faults", None), self.stats)
+        self._faults_on = self.faults.enabled
+        if self._faults_on:
+            self.stats.counter("fault_plan_seed").add(self.faults.plan.seed)
+            self._wire_faults()
         #: per-process mmap address allocator cursor
         self._mmap_cursor: Dict[int, int] = {}
         #: pid -> tokens to wake when that process exits (waitpid support)
@@ -102,6 +111,40 @@ class Engine:
         #: with live processes, the run is declared deadlocked
         self._last_progress = 0
         self._deadlock_window = max(10 * cfg.os.timer_interval, 10_000_000)
+        #: watchdog: scheduler rounds tolerated with global time frozen
+        self._watchdog_rounds = getattr(cfg, "watchdog_rounds", 1_000_000)
+        #: ring of the most recent events, for deadlock/livelock forensics:
+        #: (cycle, pid, event kind) tuples
+        self._recent_events: deque = deque(maxlen=8)
+
+    def _wire_faults(self) -> None:
+        """Bind injection hooks at every armed site.
+
+        Called only for a non-empty plan, so disabled runs never see an
+        extra attribute, branch, or RNG draw on a hot path.
+        """
+        fi = self.faults
+        if fi.has_prefix("mem:"):
+            self.memsys.fault_extra = fi.mem_extra
+        if fi.has_prefix("disk:latency"):
+            self.disk.fault_hook = fi.disk_latency_extra
+        if fi.has_prefix("tcp:"):
+            self.os_server.net.faults = fi
+        if fi.has_prefix("link:"):
+            proto = getattr(self.memsys, "protocol", None)
+            hook = fi.link_extra
+            for attr in ("bus", "dirctl", "memctl", "amctl"):
+                res = getattr(proto, attr, None)
+                if res is None:
+                    continue
+                if isinstance(res, list):
+                    for r in res:
+                        r.fault_hook = hook
+                else:
+                    res.fault_hook = hook
+            net = getattr(proto, "network", None)
+            if net is not None:
+                net.set_fault_hook(hook)
 
     # ------------------------------------------------------------------
     # process setup
@@ -179,9 +222,23 @@ class Engine:
             self._timer_started = True
         t0 = _wallclock.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
+        wd_rounds = 0
+        wd_time = -1
         while budget > 0:
             if self._live <= 0:
                 break
+            now = self.gsched.now
+            if now != wd_time:
+                wd_time = now
+                wd_rounds = 0
+            else:
+                wd_rounds += 1
+                if wd_rounds > self._watchdog_rounds:
+                    self._report_deadlock(
+                        self.comm.live_processes(),
+                        reason=(f"watchdog: global time stuck at cycle {now} "
+                                f"for {wd_rounds} scheduler rounds "
+                                "(livelock)"))
             t_task = self.gsched.next_time()
             cand = self.comm.select()
             if cand is None:
@@ -244,12 +301,78 @@ class Engine:
         self._account_trailing_idle()
         return self.stats
 
-    def _report_deadlock(self, live: List[SimProcess]) -> None:
-        lines = [f"  {p!r}" for p in live]
-        raise DeadlockError(
-            "no frontend can make progress and the task queue is empty:\n"
-            + "\n".join(lines)
-        )
+    def _report_deadlock(self, live: List[SimProcess],
+                         reason: str = "no frontend can make progress and "
+                                       "the task queue is empty") -> None:
+        report = self.diagnostic_report(reason)
+        raise DeadlockError(report["text"], report=report)
+
+    def diagnostic_report(self, reason: str) -> Dict[str, Any]:
+        """Structured no-progress diagnostic: per-process states with their
+        blocked-on wait tokens, CPU states, lock/barrier ownership and the
+        most recent events — everything needed to debug a hang without
+        re-running under a debugger."""
+        now = self.gsched.now
+        procs = []
+        for p in sorted(self.comm.processes.values(), key=lambda q: q.pid):
+            if p.state == ProcState.DONE:
+                continue
+            procs.append({
+                "pid": p.pid, "name": p.name, "state": p.state.name,
+                "cpu": p.cpu, "vtime": p.vtime, "mode": p.mode,
+                "frames": len(p.frames),
+                "wait": (p.wait.label if p.wait is not None else None),
+            })
+        cpus = []
+        for c in self.comm.cpus:
+            cpus.append({
+                "cpu": c.index, "time": c.time,
+                "running_pid": c.running_pid,
+                "irq_pending": bool(c.irq_pending),
+                "irq_enabled": bool(c.irq_enabled),
+            })
+        locks = {lid: {"holder": holder, "waiters": waiters}
+                 for lid, (holder, waiters) in self.locks.owners().items()}
+        barriers = self.barriers.pending()
+        recent = list(self._recent_events)
+        lines = [f"DEADLOCK at cycle {now}: {reason}",
+                 f"  events processed: {self.events_processed}; "
+                 f"last progress at cycle {self._last_progress}",
+                 "  processes:"]
+        for p in procs:
+            lines.append(
+                f"    pid={p['pid']} {p['name']!r} state={p['state']} "
+                f"cpu={p['cpu']} vtime={p['vtime']} mode={p['mode']} "
+                f"frames={p['frames']} wait={p['wait']!r}")
+        lines.append("  cpus:")
+        for c in cpus:
+            lines.append(
+                f"    cpu{c['cpu']}: time={c['time']} "
+                f"running_pid={c['running_pid']} "
+                f"irq_pending={c['irq_pending']} "
+                f"irq_enabled={c['irq_enabled']}")
+        if locks:
+            lines.append("  locks:")
+            for lid in sorted(locks):
+                info = locks[lid]
+                lines.append(f"    lock {lid}: holder={info['holder']} "
+                             f"waiters={info['waiters']}")
+        if barriers:
+            lines.append("  barriers:")
+            for bid in sorted(barriers):
+                lines.append(f"    barrier {bid}: waiting={barriers[bid]}")
+        if recent:
+            lines.append("  recent events (cycle, pid, kind):")
+            lines.extend(f"    {r}" for r in recent)
+        return {
+            "reason": reason, "now": now,
+            "events_processed": self.events_processed,
+            "last_progress": self._last_progress,
+            "processes": procs, "cpus": cpus,
+            "locks": locks, "barriers": barriers,
+            "recent_events": recent,
+            "text": "\n".join(lines),
+        }
 
     def _account_trailing_idle(self) -> None:
         for c in self.comm.cpus:
@@ -264,6 +387,7 @@ class Engine:
     def _handle_event(self, proc: SimProcess, event: ev.Event) -> None:
         kind = event.kind
         now = self.gsched.now
+        self._recent_events.append((now, proc.pid, kind))
         resume = True
 
         if kind <= ev.EvKind.RMW:   # READ / WRITE / RMW
@@ -336,6 +460,7 @@ class Engine:
         bs = self.batch_stats
         bs["batches"] += 1
         bs["refs"] += consumed
+        self._recent_events.append((self.gsched.now, proc.pid, 9))
         if fault is not None:
             # the faulting reference re-runs via the ("retry", batch) meta;
             # its lead-in pending is already folded into vtime, so zero it
@@ -454,6 +579,19 @@ class Engine:
         name, args = event.arg
         entry = self.os_server.lookup(name)
         self.stats.syscall_counts[name] += 1
+        if self._faults_on:
+            injected = self.faults.syscall_fault(name)
+            if injected is not None:
+                # abort at syscall entry with the planned errno, before the
+                # handler touches any functional state, so the caller's
+                # retry re-executes the call from scratch; the cost mirrors
+                # the category-2 accounting (entry + error return)
+                errno, kcycles = injected
+                proc.vtime += kcycles
+                self.stats.cpu[proc.cpu].kernel += kcycles
+                self.stats.syscall_cycles[name] += kcycles
+                proc.reply = ev.SyscallResult(-1, errno)
+                return
         if entry is None:
             proc.reply = ev.SyscallResult(-1, ev.ENOSYS)
             return

@@ -6,6 +6,8 @@ catch simulator failures without masking programming errors.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class CompassError(Exception):
     """Base class for all simulator errors."""
@@ -58,7 +60,18 @@ class OSError_(CompassError):
 
 class DeadlockError(CompassError):
     """Raised when the communicator detects that no frontend can make
-    progress (all blocked and no pending backend work)."""
+    progress (all blocked and no pending backend work), or when the
+    engine watchdog sees global time frozen across too many rounds.
+
+    ``report`` carries the structured diagnostic built by the engine:
+    per-process states with blocked-on wait tokens, CPU states, lock and
+    barrier owners, and the most recent events.
+    """
+
+    def __init__(self, message: str,
+                 report: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class InstrumentationError(CompassError):
@@ -70,4 +83,14 @@ class DeviceError(CompassError):
 
 
 class HostError(CompassError):
-    """Raised by the host-parallel runtime (worker death, protocol drift)."""
+    """Raised by the host-parallel runtime (worker death, protocol drift).
+
+    When a supervised worker exhausts its restart budget, ``report``
+    carries the forensic record (host pid, exit code, message counters,
+    last messages seen) assembled by the supervisor.
+    """
+
+    def __init__(self, message: str,
+                 report: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -292,6 +292,7 @@ EPIPE = 32
 ENOSYS = 38
 ENOTCONN = 57
 EADDRINUSE = 67
+ECONNRESET = 73
 ECONNREFUSED = 79
 ETIMEDOUT = 78
 
@@ -301,6 +302,6 @@ ERRNO_NAMES = {
     EFAULT: "EFAULT", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR",
     EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOSPC: "ENOSPC",
     EPIPE: "EPIPE", ENOSYS: "ENOSYS", ENOTCONN: "ENOTCONN",
-    EADDRINUSE: "EADDRINUSE", ECONNREFUSED: "ECONNREFUSED",
-    ETIMEDOUT: "ETIMEDOUT",
+    EADDRINUSE: "EADDRINUSE", ECONNRESET: "ECONNRESET",
+    ECONNREFUSED: "ECONNREFUSED", ETIMEDOUT: "ETIMEDOUT",
 }

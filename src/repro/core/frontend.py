@@ -335,6 +335,19 @@ class Proc:
             raise FrontendError(f"syscall {name!r} reply was {res!r}")
         return res
 
+    def call_retry(self, name: str, *args: Any, retries: int = 8):
+        """OS call with the classic EINTR restart loop.
+
+        Without a fault plan this is event-for-event identical to
+        :meth:`call` (EINTR never occurs), so applications can use it
+        unconditionally; under fault injection it models the retry path
+        commercial code takes around interruptible I/O."""
+        res = yield from self.call(name, *args)
+        while res.errno == ev.EINTR and retries > 0:
+            retries -= 1
+            res = yield from self.call(name, *args)
+        return res
+
     def exit(self, status: int = 0):
         """Announce termination (the EXIT message that unpairs the OS
         thread); the coroutine should return right after."""

@@ -88,6 +88,12 @@ class LockManager:
         """lock id -> (acquisitions, contended acquisitions)."""
         return {i: (l.acquisitions, l.contended) for i, l in self._locks.items()}
 
+    def owners(self) -> Dict[int, Tuple[Optional[int], List[int]]]:
+        """lock id -> (holder pid, waiter pids) for every non-idle lock."""
+        return {i: (l.holder, [w.pid for w in l.waiters])
+                for i, l in self._locks.items()
+                if l.holder is not None or l.waiters}
+
 
 class _Barrier:
     __slots__ = ("arrived", "episodes")
@@ -133,3 +139,8 @@ class BarrierManager:
     def episodes(self, barrier_id: int) -> int:
         b = self._barriers.get(barrier_id)
         return b.episodes if b else 0
+
+    def pending(self) -> Dict[int, List[int]]:
+        """barrier id -> pids parked at an incomplete episode."""
+        return {i: [p.pid for p in b.arrived]
+                for i, b in self._barriers.items() if b.arrived}

@@ -55,6 +55,10 @@ class Disk:
         self.write_bytes = 0
         self.busy_cycles = 0
         self.queue_cycles = 0
+        #: fault injection: callable(req) -> extra service cycles (a latency
+        #: spike for this request); None outside fault-plan runs
+        self.fault_hook: Optional[Callable[[DiskRequest], int]] = None
+        self.fault_delay_cycles = 0
 
     # -- timing ---------------------------------------------------------------
 
@@ -84,6 +88,11 @@ class Disk:
         start = max(now, self._busy_until)
         self.queue_cycles += start - now
         service = self.service_cycles(req)
+        if self.fault_hook is not None:
+            extra = self.fault_hook(req)
+            if extra:
+                service += extra
+                self.fault_delay_cycles += extra
         self.busy_cycles += service
         done = start + service
         self._busy_until = done

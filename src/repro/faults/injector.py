@@ -1,0 +1,158 @@
+"""The runtime half of fault injection.
+
+The injector owns every piece of mutable fault state: per-rule visit
+and fire counters, the dedicated ``random.Random(seed)`` stream, and
+the :class:`FaultStats` report.  All decisions are taken on the backend
+while events are handled in global time order, so two runs with the
+same plan make identical draws and fire identical faults — the paper's
+conservative-interleaving determinism extends to faulty runs for free.
+
+When the plan is empty ``enabled`` is False, the engine binds no hooks,
+and no call here is ever made on a hot path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core import events as ev
+from .plan import FaultPlan, FaultRule
+
+#: Kernel cycles charged for a syscall aborted at entry (argument
+#: checking + error return) when the rule does not override it.
+ABORTED_SYSCALL_CYCLES = 400
+
+
+class FaultStats:
+    """What fired where, for reports and acceptance checks."""
+
+    __slots__ = ("seed", "fired", "draws")
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.fired: Dict[str, int] = {}
+        self.draws = 0
+
+    def record(self, site: str) -> None:
+        self.fired[site] = self.fired.get(site, 0) + 1
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    @property
+    def distinct_sites(self) -> int:
+        return len(self.fired)
+
+    def summary(self) -> Dict[str, object]:
+        return {"seed": self.seed, "draws": self.draws,
+                "total_fired": self.total_fired,
+                "fired": dict(sorted(self.fired.items()))}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultStats(seed={self.seed}, fired={self.fired})"
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` deterministically, site by site."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 registry=None) -> None:
+        if plan is None:
+            plan = FaultPlan()
+        plan.validate()
+        self.plan = plan
+        self.enabled = bool(plan.rules)
+        self.rng = random.Random(plan.seed)
+        self.stats = FaultStats(plan.seed)
+        self._registry = registry
+        self._rules: List[FaultRule] = list(plan.rules)
+        self._visits = [0] * len(self._rules)
+        self._fires = [0] * len(self._rules)
+        self._sched = [frozenset(r.schedule) for r in self._rules]
+        self._exact: Dict[str, List[int]] = {}
+        self._wild: List[Tuple[str, int]] = []
+        for idx, rule in enumerate(self._rules):
+            if rule.site.endswith("*"):
+                self._wild.append((rule.site[:-1], idx))
+            else:
+                self._exact.setdefault(rule.site, []).append(idx)
+        self._site_cache: Dict[str, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # wiring helpers
+
+    def has_prefix(self, prefix: str) -> bool:
+        """True when any rule could target a site starting with prefix."""
+        return any(r.site.startswith(prefix)
+                   or (r.site.endswith("*")
+                       and prefix.startswith(r.site[:-1]))
+                   for r in self._rules)
+
+    # ------------------------------------------------------------------
+    # the core primitive
+
+    def check(self, site: str) -> Optional[FaultRule]:
+        """Record one visit to ``site``; return the rule that fired.
+
+        Every call is one deterministic point in the injection stream:
+        visit counters always advance and probability draws always
+        consume RNG state in the same order, so same-seed runs agree.
+        """
+        idxs = self._site_cache.get(site)
+        if idxs is None:
+            exact = self._exact.get(site, ())
+            wild = tuple(i for prefix, i in self._wild
+                         if site.startswith(prefix))
+            idxs = tuple(exact) + wild
+            self._site_cache[site] = idxs
+        hit: Optional[FaultRule] = None
+        for i in idxs:
+            self._visits[i] += 1
+            if hit is not None:
+                continue
+            rule = self._rules[i]
+            if 0 <= rule.max_fires <= self._fires[i]:
+                continue
+            fired = self._visits[i] in self._sched[i]
+            if not fired and rule.prob > 0.0:
+                self.stats.draws += 1
+                fired = self.rng.random() < rule.prob
+            if fired:
+                self._fires[i] += 1
+                self.stats.record(site)
+                if self._registry is not None:
+                    self._registry.counter("faults_injected").add(key=site)
+                hit = rule
+        return hit
+
+    # ------------------------------------------------------------------
+    # site-specific hooks (bound by the engine only when armed)
+
+    def syscall_fault(self, name: str) -> Optional[Tuple[int, int]]:
+        """(errno, kernel_cycles) to abort syscall ``name`` with, or None."""
+        rule = self.check("syscall:" + name)
+        if rule is None:
+            return None
+        errno = rule.errno_value() or ev.EINTR
+        return errno, (rule.extra_cycles or ABORTED_SYSCALL_CYCLES)
+
+    def disk_latency_extra(self, req) -> int:
+        """Disk.fault_hook: extra service cycles for one request."""
+        rule = self.check("disk:latency")
+        return rule.extra_cycles if rule is not None else 0
+
+    def disk_read_error(self) -> bool:
+        """Transient media error on a buffer-cache read (one retry)."""
+        return self.check("disk:read_error") is not None
+
+    def mem_extra(self) -> int:
+        """MemorySystem.fault_extra: degraded-DIMM latency on a miss path."""
+        rule = self.check("mem:degraded")
+        return rule.extra_cycles if rule is not None else 0
+
+    def link_extra(self, now: int) -> int:
+        """OccupancyResource.fault_hook: degraded-link service inflation."""
+        rule = self.check("link:degraded")
+        return rule.extra_cycles if rule is not None else 0

@@ -1,0 +1,176 @@
+"""Fault plans: which sites fail, when, and how.
+
+A plan is a frozen description — all runtime state (visit counters,
+fire counters, the RNG) lives in the :class:`~repro.faults.injector.
+FaultInjector`, so one plan object can drive any number of engines or
+repeated runs and always produce the same injections.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from ..core import events as ev
+from ..core.errors import ConfigError
+
+#: Site namespaces the simulator actually consults.  A rule site must
+#: match one of these prefixes (a trailing ``*`` wildcard is allowed,
+#: e.g. ``syscall:*`` injects into every syscall).
+KNOWN_SITE_PREFIXES = (
+    "syscall:",   # errno injection at syscall entry (syscall:<name>)
+    "fs:",        # filesystem-layer errors (fs:enospc)
+    "net:",       # socket-layer errors (net:reset)
+    "disk:",      # disk:latency (service-time spikes), disk:read_error
+    "tcp:",       # tcp:drop (segment loss -> retransmission)
+    "mem:",       # mem:degraded (extra DRAM latency on cache misses)
+    "link:",      # link:degraded (extra occupancy on bus/dir/mesh links)
+)
+
+
+def _resolve_errno(value: Union[int, str]) -> int:
+    if isinstance(value, int):
+        return value
+    name = str(value)
+    num = getattr(ev, name, None)
+    if not isinstance(num, int) or name not in ev.ERRNO_NAMES.values():
+        raise ConfigError(f"unknown errno name {value!r} in fault rule")
+    return num
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule.
+
+    ``site``
+        Injection point, e.g. ``"syscall:kreadv"`` or ``"disk:latency"``.
+        A trailing ``*`` matches every site with that prefix.
+    ``prob``
+        Per-visit firing probability drawn from the plan's seeded RNG.
+    ``schedule``
+        Exact 1-based visit indices that fire deterministically (in
+        addition to any probability draws).
+    ``errno``
+        Error to report for syscall/fs/net sites; an int or a name such
+        as ``"EINTR"``.
+    ``extra_cycles``
+        Extra latency for timing faults (disk/mem/link sites) or the
+        kernel-cycle charge of an aborted syscall.
+    ``max_fires``
+        Cap on total fires for this rule; ``-1`` means unlimited.
+    """
+
+    site: str
+    prob: float = 0.0
+    schedule: Tuple[int, ...] = ()
+    errno: Optional[Union[int, str]] = None
+    extra_cycles: int = 0
+    max_fires: int = -1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedule", tuple(self.schedule))
+
+    def validate(self) -> "FaultRule":
+        if not any(self.site.startswith(p) for p in KNOWN_SITE_PREFIXES):
+            raise ConfigError(
+                f"fault site {self.site!r} matches no known namespace "
+                f"{KNOWN_SITE_PREFIXES}")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ConfigError(f"fault prob must be in [0, 1], got {self.prob}")
+        if any((not isinstance(v, int)) or v < 1 for v in self.schedule):
+            raise ConfigError(
+                f"fault schedule must hold 1-based visit indices, "
+                f"got {self.schedule!r}")
+        if self.prob == 0.0 and not self.schedule:
+            raise ConfigError(
+                f"fault rule for {self.site!r} can never fire "
+                "(prob == 0 and empty schedule)")
+        if self.extra_cycles < 0:
+            raise ConfigError("fault extra_cycles must be >= 0")
+        if self.errno is not None:
+            _resolve_errno(self.errno)
+        return self
+
+    def errno_value(self) -> int:
+        """The errno to inject (0 when the rule carries none)."""
+        return 0 if self.errno is None else _resolve_errno(self.errno)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"site": self.site}
+        if self.prob:
+            d["prob"] = self.prob
+        if self.schedule:
+            d["schedule"] = list(self.schedule)
+        if self.errno is not None:
+            d["errno"] = self.errno
+        if self.extra_cycles:
+            d["extra_cycles"] = self.extra_cycles
+        if self.max_fires >= 0:
+            d["max_fires"] = self.max_fires
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultRule":
+        unknown = set(d) - {"site", "prob", "schedule", "errno",
+                            "extra_cycles", "max_fires"}
+        if unknown:
+            raise ConfigError(f"unknown fault rule keys {sorted(unknown)}")
+        if "site" not in d:
+            raise ConfigError("fault rule needs a 'site'")
+        return cls(site=d["site"],
+                   prob=float(d.get("prob", 0.0)),
+                   schedule=tuple(d.get("schedule", ())),
+                   errno=d.get("errno"),
+                   extra_cycles=int(d.get("extra_cycles", 0)),
+                   max_fires=int(d.get("max_fires", -1)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault rules; empty means faults fully disabled."""
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @property
+    def empty(self) -> bool:
+        return not self.rules
+
+    def validate(self) -> "FaultPlan":
+        for rule in self.rules:
+            rule.validate()
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed,
+                "rules": [r.to_dict() for r in self.rules]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultPlan":
+        unknown = set(d) - {"seed", "rules"}
+        if unknown:
+            raise ConfigError(f"unknown fault plan keys {sorted(unknown)}")
+        rules = tuple(FaultRule.from_dict(r) for r in d.get("rules", ()))
+        return cls(rules=rules, seed=int(d.get("seed", 0))).validate()
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            d = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bad fault plan JSON: {exc}") from exc
+        if not isinstance(d, dict):
+            raise ConfigError("fault plan JSON must be an object")
+        return cls.from_dict(d)
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

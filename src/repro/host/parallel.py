@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time as _time
 from collections import deque
 from multiprocessing.connection import Connection, wait as conn_wait
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -86,14 +87,6 @@ def _worker_main(conn: Connection, spec_name: str, program_text: str,
             os.sched_setaffinity(0, cpu_affinity)
         except (AttributeError, OSError):
             pass
-    prog = assemble(program_text, spec_name)
-    dm = DataMemory(spec_name)
-    for base, size in segments:
-        dm.map_segment(base, size)
-    m = Machine(dm)
-    for r, v in regs.items():
-        m.regs[r] = v
-    gen = Interpreter(prog, m).run(translate=translate)
     batch: list = []
 
     def flush() -> None:
@@ -102,6 +95,14 @@ def _worker_main(conn: Connection, spec_name: str, program_text: str,
             batch.clear()
 
     try:
+        prog = assemble(program_text, spec_name)
+        dm = DataMemory(spec_name)
+        for base, size in segments:
+            dm.map_segment(base, size)
+        m = Machine(dm)
+        for r, v in regs.items():
+            m.regs[r] = v
+        gen = Interpreter(prog, m).run(translate=translate)
         reply = None
         evt = next(gen)
         while True:
@@ -123,15 +124,31 @@ def _worker_main(conn: Connection, spec_name: str, program_text: str,
         conn.send(("exit", status, m.pending))
     except (EOFError, BrokenPipeError):
         pass
+    except Exception as exc:   # noqa: BLE001 - forwarded to the supervisor
+        # interpreter / protocol failure: tell the backend why before dying,
+        # so the supervisor can report it instead of a bare EOF
+        try:
+            conn.send(("crash", f"{type(exc).__name__}: {exc}"))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
     finally:
         conn.close()
 
 
 class _Worker:
-    """Backend-side handle for one worker process."""
+    """Backend-side handle for one worker process.
+
+    Workers are pure functions of their spec, so a crashed worker can be
+    relaunched and its event stream replayed deterministically: the
+    supervisor discards the first ``skip`` (= already consumed) logical
+    messages of the fresh stream and answers re-sent control events from
+    the recorded reply log.
+    """
 
     __slots__ = ("spec", "proc", "conn", "process", "queue", "computing",
-                 "alive")
+                 "alive", "consumed", "streamed", "skip", "reply_cursor",
+                 "control_replies", "restarts", "restartable", "exit_seen",
+                 "last_msgs", "death_reason")
 
     def __init__(self, spec: WorkerSpec) -> None:
         self.spec = spec
@@ -142,6 +159,22 @@ class _Worker:
         self.queue: deque = deque()
         self.computing = True
         self.alive = True
+        #: logical messages the proxy has consumed (the replay frontier)
+        self.consumed = 0
+        #: logical messages received over the *current* pipe
+        self.streamed = 0
+        #: after a restart: how many fresh-stream messages are replay
+        self.skip = 0
+        #: recorded control replies already re-sent during replay
+        self.reply_cursor = 0
+        #: every encoded control reply, in consumption order
+        self.control_replies: List[tuple] = []
+        self.restarts = 0
+        self.restartable = True
+        self.exit_seen = False
+        #: ring of the last raw messages, for the forensic report
+        self.last_msgs: deque = deque(maxlen=6)
+        self.death_reason = ""
 
 
 class ParallelEngine(Engine):
@@ -158,6 +191,20 @@ class ParallelEngine(Engine):
         self._frontend_batching = False
         self._workers: Dict[int, _Worker] = {}
         self._ctx = mp.get_context("fork")
+        # -- worker supervision knobs ------------------------------------
+        #: restarts allowed per worker before giving up with a HostError
+        self.max_worker_restarts = 2
+        #: base wall-clock delay before a relaunch (doubles per restart)
+        self.worker_backoff = 0.05
+        #: blocking-harvest poll period: how often silent workers get a
+        #: liveness check (seconds)
+        self.heartbeat_interval = 0.25
+        #: a live worker silent for this long while the backend is blocked
+        #: on it is declared hung (seconds)
+        self.worker_hang_timeout = 60.0
+        #: control replies kept for crash replay; past this the worker is
+        #: no longer restartable (the log would be unbounded)
+        self.replay_log_limit = 65536
         self._affinity: Optional[frozenset] = None
         if host_cpus is not None:
             avail = sorted(os.sched_getaffinity(0))
@@ -172,20 +219,24 @@ class ParallelEngine(Engine):
     def spawn_worker(self, spec: WorkerSpec) -> SimProcess:
         """Launch a worker process and register its frontend."""
         w = _Worker(spec)
+        self._launch(w)
+        proc = self.spawn(spec.name, lambda _api, w=w: self._proxy(w))
+        w.proc = proc
+        self._workers[proc.pid] = w
+        return proc
+
+    def _launch(self, w: _Worker) -> None:
+        """(Re)start the host process behind ``w`` on a fresh pipe."""
         parent, child = self._ctx.Pipe()
         p = self._ctx.Process(
             target=_worker_main,
-            args=(child, spec.name, spec.program_text, spec.segments,
-                  spec.regs, self._affinity, self._frontend_translate),
+            args=(child, w.spec.name, w.spec.program_text, w.spec.segments,
+                  w.spec.regs, self._affinity, self._frontend_translate),
             daemon=True)
         p.start()
         child.close()
         w.conn = parent
         w.process = p
-        proc = self.spawn(spec.name, lambda _api, w=w: self._proxy(w))
-        w.proc = proc
-        self._workers[proc.pid] = w
-        return proc
 
     def _proxy(self, w: _Worker):
         """Engine-side base frame replaying the worker's event stream."""
@@ -196,6 +247,7 @@ class ParallelEngine(Engine):
                 # rides in an ADVANCE event so the base stepper can stamp it
                 yield ev.Event(ev.EvKind.ADVANCE, 0, 0, COMPUTING)
             msg = w.queue.popleft()
+            w.consumed += 1
             tag = msg[0]
             if tag == "exit":
                 if clock is None:
@@ -214,38 +266,100 @@ class ParallelEngine(Engine):
                                                 msg[4], msg[5])
                 clock.pending += delta
                 reply = yield ev.Event(kind, addr, size, arg)
-                try:
-                    w.conn.send(_encode_reply(reply))
-                except (BrokenPipeError, OSError) as exc:
-                    raise HostError(f"worker {w.spec.name} died") from exc
+                # record before sending: whether the send succeeds or the
+                # worker dies mid-flight, the reply is available for replay
+                enc = _encode_reply(reply)
+                if w.restartable:
+                    w.control_replies.append(enc)
+                    if (len(w.control_replies) > self.replay_log_limit
+                            and w.streamed >= w.skip):
+                        # log too large to keep replaying; not mid-replay,
+                        # so it is safe to drop it and give up restarts
+                        w.restartable = False
+                        w.control_replies.clear()
+                        w.reply_cursor = 0
+                if w.streamed >= w.skip:
+                    # the worker is past the replay frontier and blocked in
+                    # recv on the current pipe
+                    try:
+                        w.conn.send(enc)
+                    except (BrokenPipeError, OSError):
+                        self._worker_failed(
+                            w, "pipe closed while sending a control reply")
+                # else: a restarted worker has not re-reached this control
+                # yet; _ingest sends the recorded reply when it does
 
     # -- harvest -------------------------------------------------------------
 
     def _harvest(self, block_on: Optional[List[_Worker]] = None) -> None:
         """Drain worker pipes into queues; optionally block until at least
-        one of ``block_on`` delivers. Re-steps proxies that were computing."""
-        conns = {w.conn: w for w in self._workers.values()
-                 if w.alive and w.conn is not None}
-        if not conns:
-            return
+        one of ``block_on`` delivers. Re-steps proxies that were computing.
+
+        Blocking waits poll at ``heartbeat_interval`` so a worker that died
+        (or hung) without closing its pipe is detected and handed to the
+        supervisor instead of blocking the backend forever.
+        """
         if block_on:
-            ready = conn_wait([w.conn for w in block_on if w.alive])
+            ready: List[Connection] = []
+            waited = 0.0
+            while True:
+                live = [w for w in block_on
+                        if w.alive and w.conn is not None]
+                if not live:
+                    break
+                ready = conn_wait([w.conn for w in live],
+                                  timeout=self.heartbeat_interval)
+                if ready:
+                    break
+                # heartbeat expired with nothing on the wire: make sure the
+                # silent workers still exist before waiting again
+                waited += self.heartbeat_interval
+                dead = [w for w in live
+                        if w.process is not None
+                        and not w.process.is_alive()]
+                if dead:
+                    for w in dead:
+                        self._worker_failed(
+                            w, "worker process died while the backend was "
+                               "waiting for its events")
+                    continue   # restarted workers stream on fresh pipes
+                if waited >= self.worker_hang_timeout:
+                    w = live[0]
+                    raise HostError(
+                        self._forensic(
+                            w, f"no events for {waited:.0f}s while the "
+                               "backend was blocked on this worker "
+                               "(worker hung)"),
+                        report=self._forensic_report(
+                            w, "worker hung", None))
         else:
-            ready = conn_wait(list(conns.keys()), timeout=0)
+            conns = [w.conn for w in self._workers.values()
+                     if w.alive and w.conn is not None]
+            if not conns:
+                return
+            ready = conn_wait(conns, timeout=0)
+        by_conn = {w.conn: w for w in self._workers.values()
+                   if w.alive and w.conn is not None}
         for c in ready:
-            w = conns.get(c)
-            if w is None:
-                continue
+            w = by_conn.get(c)
+            if w is None or not w.alive or w.conn is not c:
+                continue   # stale pipe of a worker restarted this call
             try:
                 while c.poll():
                     msg = c.recv()
                     if msg[0] == "b":
+                        ok = True
                         for kind, addr, size, delta in msg[1]:
-                            w.queue.append(("m", kind, addr, size, delta))
-                    else:
-                        w.queue.append(msg)
+                            if not self._ingest(w, ("m", kind, addr, size,
+                                                    delta)):
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                    elif not self._ingest(w, msg):
+                        break
             except (EOFError, OSError):
-                w.alive = False
+                self._worker_failed(w, "worker pipe closed unexpectedly")
         # resume proxies that were starved and now have input
         for w in self._workers.values():
             p = w.proc
@@ -253,6 +367,117 @@ class ParallelEngine(Engine):
                     and p.state == ProcState.RUNNING and p.reply is None
                     and not p.kernel_mode):
                 self._step(p)
+
+    def _ingest(self, w: _Worker, msg: tuple) -> bool:
+        """Deliver one logical worker message.
+
+        Returns False when the message reported a crash and the failure
+        was already handled (restart or raise), so the caller must stop
+        reading the now-stale pipe.
+        """
+        if msg[0] == "crash":
+            self._worker_failed(w, f"worker crashed: {msg[1]}")
+            return False
+        w.last_msgs.append(msg)
+        if msg[0] == "exit":
+            w.exit_seen = True
+        if w.streamed < w.skip:
+            # replaying a restarted worker's deterministic stream: this
+            # message was consumed before the crash — discard it, but
+            # answer re-sent controls from the recorded reply log
+            w.streamed += 1
+            if msg[0] == "c":
+                if w.reply_cursor < len(w.control_replies):
+                    enc = w.control_replies[w.reply_cursor]
+                    w.reply_cursor += 1
+                    try:
+                        w.conn.send(enc)
+                    except (BrokenPipeError, OSError):
+                        self._worker_failed(
+                            w, "worker pipe closed during replay")
+                        return False
+                # else: the in-flight frontier — the simulation has not
+                # produced this reply yet; the proxy sends it on arrival
+            return True
+        w.streamed += 1
+        w.queue.append(msg)
+        return True
+
+    # -- supervision ---------------------------------------------------------
+
+    def _worker_failed(self, w: _Worker, reason: str) -> None:
+        """A worker died or its pipe broke: relaunch it and replay its
+        deterministic stream, or raise a forensic HostError when the
+        restart budget is exhausted (or the worker cannot be replayed)."""
+        w.death_reason = reason
+        if w.conn is not None:
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+            w.conn = None
+        exitcode = None
+        if w.process is not None:
+            try:
+                w.process.join(timeout=2.0)
+                exitcode = w.process.exitcode
+            except (OSError, ValueError, AssertionError):
+                pass
+        if w.exit_seen or (w.proc is not None
+                           and w.proc.state == ProcState.DONE):
+            # the full stream was already delivered: a closed pipe after
+            # the exit message is a normal shutdown, not a failure
+            w.alive = False
+            return
+        if not w.restartable or w.restarts >= self.max_worker_restarts:
+            w.alive = False
+            raise HostError(self._forensic(w, reason, exitcode),
+                            report=self._forensic_report(w, reason, exitcode))
+        w.restarts += 1
+        self.stats.counter("worker_restarts").add(key=w.spec.name)
+        _time.sleep(min(self.worker_backoff * (2 ** (w.restarts - 1)), 2.0))
+        # everything queued but not consumed will be re-streamed; replay
+        # skips exactly the consumed prefix
+        w.queue.clear()
+        w.skip = w.consumed
+        w.streamed = 0
+        w.reply_cursor = 0
+        w.alive = True
+        self._launch(w)
+
+    def _forensic_report(self, w: _Worker, reason: str,
+                         exitcode: Optional[int]) -> dict:
+        p = w.proc
+        return {
+            "worker": w.spec.name,
+            "reason": reason,
+            "host_pid": w.process.pid if w.process is not None else None,
+            "exitcode": exitcode,
+            "restarts": w.restarts,
+            "max_restarts": self.max_worker_restarts,
+            "restartable": w.restartable,
+            "messages_consumed": w.consumed,
+            "messages_streamed": w.streamed,
+            "pending_queue": len(w.queue),
+            "last_messages": list(w.last_msgs),
+            "sim_pid": p.pid if p is not None else None,
+            "sim_state": p.state.name if p is not None else None,
+            "sim_vtime": p.vtime if p is not None else None,
+            "now": self.gsched.now,
+        }
+
+    def _forensic(self, w: _Worker, reason: str,
+                  exitcode: Optional[int] = None) -> str:
+        r = self._forensic_report(w, reason, exitcode)
+        lines = [f"worker {r['worker']!r} failed after "
+                 f"{r['restarts']}/{r['max_restarts']} restarts: {reason}",
+                 "forensic report:"]
+        for key in ("host_pid", "exitcode", "restartable",
+                    "messages_consumed", "messages_streamed",
+                    "pending_queue", "sim_pid", "sim_state", "sim_vtime",
+                    "now", "last_messages"):
+            lines.append(f"  {key}: {r[key]}")
+        return "\n".join(lines)
 
     # -- stepping override -----------------------------------------------------
 
@@ -291,9 +516,23 @@ class ParallelEngine(Engine):
         t0 = _wall.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
         since_harvest = 0
+        wd_rounds = 0
+        wd_time = -1
+        wd_limit = self._watchdog_rounds
         while budget > 0:
             if self._live <= 0:
                 break
+            now = self.gsched.now
+            if now != wd_time:
+                wd_time = now
+                wd_rounds = 0
+            else:
+                wd_rounds += 1
+                if wd_rounds > wd_limit:
+                    self._report_deadlock(
+                        self.comm.live_processes(),
+                        reason=f"watchdog: global time stuck at cycle {now} "
+                               f"for {wd_rounds} scheduler rounds (livelock)")
             # pipes only need draining when a worker is starved (the unsafe
             # check below catches the ones that matter for ordering) or
             # periodically to keep OS pipe buffers from filling
@@ -368,16 +607,32 @@ class ParallelEngine(Engine):
                     pass
             self._affinity = None
         for w in self._workers.values():
-            if w.process is not None and w.process.is_alive():
-                w.process.terminate()
+            p = w.process
+            if p is not None:
+                # tolerate workers that already died, were killed by the
+                # supervisor, or were never successfully started
+                try:
+                    if p.is_alive():
+                        p.terminate()
+                except (OSError, ValueError):
+                    pass
             if w.conn is not None:
                 try:
                     w.conn.close()
                 except OSError:
                     pass
+                w.conn = None
         for w in self._workers.values():
-            if w.process is not None:
-                w.process.join(timeout=2)
+            p = w.process
+            if p is None:
+                continue
+            try:
+                p.join(timeout=2)
+                if p.is_alive():
+                    p.kill()
+                    p.join(timeout=1)
+            except (OSError, ValueError, AssertionError):
+                pass
 
     def __enter__(self) -> "ParallelEngine":
         return self

@@ -14,7 +14,7 @@ class OccupancyResource:
     """A FIFO resource with a fixed (or per-request) service time."""
 
     __slots__ = ("name", "service", "busy_until", "transactions",
-                 "wait_cycles", "busy_cycles")
+                 "wait_cycles", "busy_cycles", "fault_hook")
 
     def __init__(self, name: str, service: int) -> None:
         if service < 0:
@@ -25,6 +25,9 @@ class OccupancyResource:
         self.transactions = 0
         self.wait_cycles = 0
         self.busy_cycles = 0
+        #: fault injection: callable(now) -> extra service cycles modeling a
+        #: degraded bus/controller/link; None outside fault-plan runs
+        self.fault_hook = None
 
     def occupy(self, now: int, service: int = -1) -> int:
         """Acquire at cycle ``now``; returns total delay (queueing + service).
@@ -33,6 +36,8 @@ class OccupancyResource:
         """
         if service < 0:
             service = self.service
+        if self.fault_hook is not None:
+            service += self.fault_hook(now)
         start = self.busy_until if self.busy_until > now else now
         wait = start - now
         self.busy_until = start + service

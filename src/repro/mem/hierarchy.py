@@ -82,6 +82,12 @@ class MemorySystem:
         self._l1_set_mask = self.l1s[0].set_mask
         self._l1_nsets = self.l1s[0].n_sets
 
+        #: fault injection: callable() -> extra cycles on the full access
+        #: path (a degraded DIMM adds latency to misses/DRAM traffic; L1
+        #: fast-path hits never reach memory and stay unaffected). None
+        #: outside fault-plan runs.
+        self.fault_extra = None
+
     # ------------------------------------------------------------------
 
     def access(self, pid: int, vaddr: int, size: int, write: bool,
@@ -180,6 +186,9 @@ class MemorySystem:
         while line <= last:
             latency += self._access_line(line, write, cpu, now + latency)
             line += 1
+        fe = self.fault_extra
+        if fe is not None:
+            latency += fe()
         return latency, None
 
     # ------------------------------------------------------------------

@@ -29,6 +29,15 @@ class MeshNetwork:
         self._link_occ = link_occupancy
         self.messages = 0
         self.total_hops = 0
+        #: fault injection: callable(now) -> extra occupancy cycles applied
+        #: to every link (a degraded interconnect); None normally
+        self.fault_hook = None
+
+    def set_fault_hook(self, hook) -> None:
+        """Install a degraded-link hook on every current and future link."""
+        self.fault_hook = hook
+        for r in self._links.values():
+            r.fault_hook = hook
 
     def coords(self, node: int) -> Tuple[int, int]:
         return node % self.cols, node // self.cols
@@ -71,6 +80,7 @@ class MeshNetwork:
             r = self._links.get(link)
             if r is None:
                 r = OccupancyResource(f"link{link}", self._link_occ)
+                r.fault_hook = self.fault_hook
                 self._links[link] = r
             d = self.hop_latency + r.occupy(t, self._link_occ * flits)
             latency += d

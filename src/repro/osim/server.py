@@ -104,6 +104,13 @@ class Sys:
     def net(self) -> TcpIpStack:
         return self.server.net
 
+    @property
+    def faults(self):
+        """The engine's fault injector, or None when faults are disabled
+        (so call sites stay a single is-None test on fault-free runs)."""
+        fi = self.engine.faults
+        return fi if fi.enabled else None
+
     def fd(self, fdno: int) -> Optional[FdEntry]:
         return self.server.fd_entry(self.proc.pid, fdno)
 
@@ -189,6 +196,16 @@ class Sys:
         self.engine.disk.submit(req, self.now)
         k.compute(600)   # driver strategy routine + sleep
         yield token
+        fi = self.faults
+        if fi is not None and fi.disk_read_error():
+            # transient media error reported at iodone: the driver logs it
+            # and re-issues the request once; data is valid after the retry
+            k.compute(1500)   # error log + strategy re-issue
+            retry = DiskRequest(ino.disk_offset(blk), bc.bsize, False)
+            rtok = WaitToken(f"diskretry:{ino.ino}:{blk}")
+            retry.actions.append(rtok.wake)
+            self.engine.disk.submit(retry, self.now)
+            yield rtok
         k.compute(400)   # iodone, buffer valid
         return slot
 

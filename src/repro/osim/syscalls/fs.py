@@ -150,6 +150,11 @@ def _file_read(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int):
 def _file_write(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int,
                 data: bytes, sync: bool):
     """Shared body of kwritev/write on a regular file (delayed writes)."""
+    fi = sys.faults
+    if fi is not None and fi.check("fs:enospc") is not None:
+        # filesystem full: fail before any functional state changes
+        sys.k.compute(300)   # block-allocation walk that comes up empty
+        return sys.error(ev.ENOSPC)
     node = sys.fs.inode(entry.ino)
     if data:
         sys.fs.write(node.ino, entry.offset, data[:nbytes])

@@ -117,6 +117,11 @@ def sys_connect(sys: Sys, fd: int, port: int):
 def _sock_recv(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int):
     """Receive path shared by recv() and kreadv-on-socket: block until data,
     then copy mbuf chains into the user buffer."""
+    fi = sys.faults
+    if fi is not None and fi.check("net:reset") is not None:
+        # peer reset the connection: surfaced before any data is consumed
+        sys.k.compute(300)
+        return sys.error(ev.ECONNRESET)
     while True:
         data = sys.net.pop_recv(entry.sid, nbytes)
         if data is not None:
@@ -140,6 +145,10 @@ def _sock_send(sys: Sys, entry: FdEntry, uaddr: int, nbytes: int,
     mbufs, charge checksum, hand to the stack/NIC."""
     if nbytes <= 0:
         return sys.result(0)
+    fi = sys.faults
+    if fi is not None and fi.check("net:reset") is not None:
+        sys.k.compute(300)
+        return sys.error(ev.ECONNRESET)
     yield from sys.k.lock(kmem.KLOCK_SOCKET + entry.sid % 64)
     sys.k.compute(nbytes // 8 * CSUM_PER_8B + 400)
     yield from sys.copy_block(uaddr, kmem.mbuf_addr(entry.sid * 7), nbytes)

@@ -97,6 +97,10 @@ class TcpIpStack:
         self.on_server_send: Optional[Callable[[int, int, object], None]] = None
         self.conns_established = 0
         self.conns_closed = 0
+        #: fault injection (site ``tcp:drop``): set to the engine's
+        #: FaultInjector only when a tcp: rule is armed; None normally
+        self.faults = None
+        self.retransmits = 0
 
     # -- socket API (called by syscall handlers) ----------------------------
 
@@ -215,6 +219,13 @@ class TcpIpStack:
         else:
             c.bytes_in += nbytes
         if c.remote and s.side == SERVER:
+            fi = self.faults
+            if fi is not None and fi.check("tcp:drop") is not None:
+                # segment lost on the wire: the first transmission occupies
+                # the NIC but delivers nothing, the retransmission below
+                # carries the data (the sender pays double wire time)
+                self.nic.transmit(nbytes, now)
+                self.retransmits += 1
             cb = None
             if self.on_server_send is not None:
                 cid = c.conn_id

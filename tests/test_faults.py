@@ -1,0 +1,434 @@
+"""Deterministic fault injection: plans, the injector, every wired site,
+the engine watchdog, and structured no-progress diagnostics."""
+
+import pytest
+
+from repro import (DeadlockError, ConfigError, Engine, FaultPlan, FaultRule,
+                   complex_backend)
+from repro.core import events as ev
+from repro.core.frontend import SimProcess
+from repro.faults import FaultInjector
+
+
+def _reset_pids():
+    # pids feed the selection tie-break and address-space keys; comparison
+    # runs must see identical numbering
+    SimProcess._next_pid[0] = 1
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan / FaultRule
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="syscall:kreadv", prob=0.1, errno="EINTR"),
+            FaultRule(site="disk:latency", schedule=(3, 7),
+                      extra_cycles=50_000, max_fires=2),
+        ), seed=99)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_from_file(self, tmp_path):
+        p = tmp_path / "plan.json"
+        p.write_text('{"seed": 4, "rules": '
+                     '[{"site": "fs:enospc", "prob": 0.5}]}')
+        plan = FaultPlan.from_file(str(p))
+        assert plan.seed == 4
+        assert plan.rules[0].site == "fs:enospc"
+
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(rules=(FaultRule("fs:enospc", prob=1.0),)).empty
+
+    def test_bad_json(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ConfigError):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict({"seed": 0, "surprise": 1})
+        with pytest.raises(ConfigError):
+            FaultPlan.from_dict(
+                {"rules": [{"site": "fs:enospc", "probability": 1}]})
+
+    @pytest.mark.parametrize("rule", [
+        FaultRule(site="bogus:x", prob=0.5),          # unknown namespace
+        FaultRule(site="fs:enospc", prob=1.5),        # prob out of range
+        FaultRule(site="fs:enospc"),                  # can never fire
+        FaultRule(site="fs:enospc", schedule=(0,)),   # 0-based schedule
+        FaultRule(site="fs:enospc", prob=0.1, extra_cycles=-1),
+        FaultRule(site="fs:enospc", prob=0.1, errno="ENOTANERRNO"),
+    ])
+    def test_invalid_rules(self, rule):
+        with pytest.raises(ConfigError):
+            rule.validate()
+
+    def test_config_validates_plan(self):
+        bad = FaultPlan(rules=(FaultRule(site="bogus:x", prob=1.0),))
+        with pytest.raises(ConfigError):
+            complex_backend(num_cpus=1, faults=bad)
+
+    def test_config_validates_watchdog(self):
+        with pytest.raises(ConfigError):
+            complex_backend(num_cpus=1, watchdog_rounds=0)
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector semantics
+# ---------------------------------------------------------------------------
+
+class TestInjector:
+    def test_disabled_when_empty(self):
+        inj = FaultInjector(FaultPlan())
+        assert not inj.enabled
+        assert inj.stats.draws == 0
+
+    def test_schedule_fires_exact_visits(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="mem:degraded", schedule=(2, 4), extra_cycles=1),))
+        inj = FaultInjector(plan)
+        hits = [inj.check("mem:degraded") is not None for _ in range(5)]
+        assert hits == [False, True, False, True, False]
+        assert inj.stats.draws == 0   # schedule-only rules never draw
+
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="disk:latency", prob=0.3, extra_cycles=5),),
+            seed=42)
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            runs.append([inj.check("disk:latency") is not None
+                         for _ in range(200)])
+        assert runs[0] == runs[1]
+        assert any(runs[0]) and not all(runs[0])
+
+    def test_max_fires_cap(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="net:reset", prob=1.0, max_fires=2),))
+        inj = FaultInjector(plan)
+        fired = sum(inj.check("net:reset") is not None for _ in range(10))
+        assert fired == 2
+
+    def test_wildcard_site(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="syscall:*", prob=1.0, errno="EIO"),))
+        inj = FaultInjector(plan)
+        assert inj.check("syscall:kreadv") is not None
+        assert inj.check("syscall:open") is not None
+        assert inj.check("fs:enospc") is None
+        assert inj.has_prefix("syscall:")
+        assert inj.has_prefix("syscall:kwritev")
+        assert not inj.has_prefix("mem:")
+
+    def test_stats_summary(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="fs:enospc", schedule=(1,)),), seed=7)
+        inj = FaultInjector(plan)
+        inj.check("fs:enospc")
+        s = inj.stats.summary()
+        assert s["seed"] == 7
+        assert s["fired"] == {"fs:enospc": 1}
+        assert inj.stats.total_fired == 1
+        assert inj.stats.distinct_sites == 1
+
+
+# ---------------------------------------------------------------------------
+# wired sites, end to end
+# ---------------------------------------------------------------------------
+
+class TestSyscallInjection:
+    def _engine(self, plan):
+        _reset_pids()
+        eng = Engine(complex_backend(num_cpus=1, faults=plan))
+        eng.os_server.fs.create("/f", b"y" * 4096)
+        return eng
+
+    def test_eintr_injected_and_retried(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="syscall:kreadv", schedule=(1,), errno="EINTR"),),
+            seed=5)
+        eng = self._engine(plan)
+        results = []
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 0)
+            r = yield from proc.call_retry("kreadv", r.value, 0x100000, 4096)
+            results.append(r)
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        eng.run()
+        assert results[0].ok and results[0].value == 4096
+        assert eng.faults.stats.fired == {"syscall:kreadv": 1}
+        assert eng.stats.get("faults_injected") == 1
+        assert eng.stats.get("fault_plan_seed") == 5
+
+    def test_errno_surfaces_without_retry(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="syscall:kreadv", schedule=(1,), errno="EIO"),))
+        eng = self._engine(plan)
+        results = []
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 0)
+            r = yield from proc.call("kreadv", r.value, 0x100000, 4096)
+            results.append(r)
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        eng.run()
+        assert not results[0].ok
+        assert results[0].errno == ev.EIO
+
+    def test_aborted_syscall_charges_kernel_time(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="syscall:kreadv", schedule=(1,), errno="EINTR"),))
+        eng = self._engine(plan)
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 0)
+            yield from proc.call_retry("kreadv", r.value, 0x100000, 4096)
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        stats = eng.run()
+        # the aborted attempt still burns kernel cycles and is counted
+        assert stats.syscall_counts["kreadv"] == 2
+        assert stats.cpu[0].kernel > 0
+
+    def test_enospc_on_file_write(self):
+        plan = FaultPlan(rules=(FaultRule(site="fs:enospc", schedule=(1,)),))
+        eng = self._engine(plan)
+        results = []
+
+        def app(proc):
+            r = yield from proc.call("open", "/f", 2)
+            r = yield from proc.call("kwritev", r.value, 0x100000, 4096,
+                                     b"z" * 4096)
+            results.append(r)
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        eng.run()
+        assert results[0].errno == ev.ENOSPC
+        assert eng.faults.stats.fired == {"fs:enospc": 1}
+
+
+class TestNetInjection:
+    def test_connection_reset(self):
+        plan = FaultPlan(rules=(FaultRule(site="net:reset", prob=1.0),),
+                         seed=2)
+        _reset_pids()
+        eng = Engine(complex_backend(num_cpus=2, faults=plan))
+        errors = []
+
+        def server(proc):
+            r = yield from proc.call("socket")
+            sfd = r.value
+            yield from proc.call("bind", sfd, 80)
+            yield from proc.call("listen", sfd)
+            r = yield from proc.call("naccept", sfd)
+            cfd = r.value
+            r = yield from proc.call("recv", cfd, 0x200000, 1024)
+            errors.append(r.errno)
+            yield from proc.call("close", cfd)
+            yield from proc.call("close", sfd)
+            yield from proc.exit(0)
+
+        def client(proc):
+            r = yield from proc.call("socket")
+            fd = r.value
+            while True:
+                r = yield from proc.call("connect", fd, 80)
+                if r.ok:
+                    break
+                proc.compute(20_000)
+            r = yield from proc.call("send", fd, 0x100000, 64, b"x" * 64)
+            errors.append(r.errno)
+            yield from proc.call("close", fd)
+            yield from proc.exit(0)
+
+        eng.spawn("server", server)
+        eng.spawn("client", client)
+        eng.run()
+        assert errors and all(e == ev.ECONNRESET for e in errors)
+        assert eng.faults.stats.fired["net:reset"] >= 2
+
+
+class TestTimingInjection:
+    def _run_reads(self, plan, nbytes=64 * 1024):
+        _reset_pids()
+        eng = Engine(complex_backend(num_cpus=1, faults=plan))
+        eng.os_server.fs.create("/big", b"d" * nbytes)
+
+        def app(proc):
+            r = yield from proc.call("open", "/big", 0)
+            fd = r.value
+            got = 0
+            while got < nbytes:
+                r = yield from proc.call("kreadv", fd, 0x100000, 8192)
+                if r.value <= 0:
+                    break
+                got += r.value
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        stats = eng.run()
+        return stats, eng
+
+    def test_disk_latency_spike_slows_run(self):
+        base, _ = self._run_reads(None)
+        plan = FaultPlan(rules=(
+            FaultRule(site="disk:latency", prob=1.0, extra_cycles=200_000),))
+        slow, eng = self._run_reads(plan)
+        assert eng.faults.stats.fired["disk:latency"] > 0
+        assert eng.disk.fault_delay_cycles > 0
+        assert slow.end_cycle > base.end_cycle + 100_000
+
+    def test_disk_read_error_retries_and_completes(self):
+        base, _ = self._run_reads(None)
+        plan = FaultPlan(rules=(
+            FaultRule(site="disk:read_error", schedule=(1,)),))
+        slow, eng = self._run_reads(plan)
+        assert eng.faults.stats.fired == {"disk:read_error": 1}
+        # the retry adds a full extra disk service round-trip
+        assert slow.end_cycle > base.end_cycle
+
+    def _run_touch(self, plan, num_cpus=1):
+        _reset_pids()
+        eng = Engine(complex_backend(num_cpus=num_cpus, faults=plan))
+
+        def app(proc):
+            for i in range(256):
+                yield from proc.load(0x100000 + i * 4096)
+            yield from proc.exit(0)
+
+        eng.spawn("a", app)
+        return eng.run(), eng
+
+    def test_degraded_memory_slows_misses(self):
+        base, _ = self._run_touch(None)
+        plan = FaultPlan(rules=(
+            FaultRule(site="mem:degraded", prob=1.0, extra_cycles=500),))
+        slow, eng = self._run_touch(plan)
+        assert eng.faults.stats.fired["mem:degraded"] > 0
+        assert slow.end_cycle > base.end_cycle + 256 * 400
+
+    def test_degraded_link_slows_misses(self):
+        base, _ = self._run_touch(None, num_cpus=4)
+        plan = FaultPlan(rules=(
+            FaultRule(site="link:degraded", prob=1.0, extra_cycles=200),))
+        slow, eng = self._run_touch(plan, num_cpus=4)
+        assert eng.faults.stats.fired["link:degraded"] > 0
+        assert slow.end_cycle > base.end_cycle
+
+
+class TestTcpDrop:
+    def test_webserver_retransmits(self):
+        from repro.apps.webserver import (TracePlayer, generate_fileset,
+                                          make_trace, prefork_web_server)
+        plan = FaultPlan(rules=(FaultRule(site="tcp:drop", prob=0.25),),
+                         seed=11)
+        _reset_pids()
+        eng = Engine(complex_backend(num_cpus=4, coherence="mesi",
+                                     num_nodes=1, faults=plan))
+        fset = generate_fileset(eng.os_server.fs, ndirs=1, size_scale=0.1)
+        trace = make_trace(fset, nrequests=8, seed=3)
+        prefork_web_server(eng, nworkers=2)
+        player = TracePlayer(eng, trace, fset, nclients=2,
+                             nworkers_to_quit=2)
+        player.start()
+        eng.run()
+        assert player.completed == 8     # drops delay, never lose requests
+        assert eng.os_server.net.retransmits > 0
+        assert eng.faults.stats.fired["tcp:drop"] \
+            == eng.os_server.net.retransmits
+
+
+# ---------------------------------------------------------------------------
+# watchdog + structured deadlock diagnostics
+# ---------------------------------------------------------------------------
+
+class TestWatchdog:
+    def test_livelock_detected(self):
+        eng = Engine(complex_backend(num_cpus=1, watchdog_rounds=300))
+
+        def spinner(proc):
+            while True:
+                yield from proc.advance()
+
+        eng.spawn("spin", spinner)
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        assert "watchdog" in str(ei.value)
+        assert "livelock" in str(ei.value)
+        report = ei.value.report
+        assert report is not None
+        assert "watchdog" in report["reason"]
+        assert report["processes"][0]["name"] == "spin"
+
+    def test_deadlock_report_structure(self):
+        eng = Engine(complex_backend(num_cpus=2))
+
+        def holder(proc):
+            yield from proc.lock(7)
+            yield from proc.exit(0)    # exits without unlocking
+
+        def waiter(proc):
+            proc.compute(50_000)       # let the holder win the lock
+            yield from proc.lock(7)
+            yield from proc.exit(0)
+
+        hp = eng.spawn("holder", holder)
+        wp = eng.spawn("waiter", waiter)
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        report = ei.value.report
+        assert report is not None
+        assert 7 in report["locks"]
+        assert report["locks"][7]["holder"] == hp.pid   # the exited holder
+        assert report["locks"][7]["waiters"] == [wp.pid]
+        states = {p["name"]: p["state"] for p in report["processes"]}
+        assert states["waiter"] == "SYNCWAIT"
+        assert "SYNCWAIT" in report["text"]
+        assert "lock 7" in report["text"]
+        assert report["recent_events"]
+
+
+# ---------------------------------------------------------------------------
+# same-plan reproducibility (acceptance: faulty runs are deterministic)
+# ---------------------------------------------------------------------------
+
+class TestFaultyRunDeterminism:
+    def test_same_seed_same_faulty_run(self):
+        from repro.apps.minidb import MiniDb, TpccDriver, tpcc_catalog
+        plan = FaultPlan(rules=(
+            FaultRule(site="syscall:kreadv", prob=0.05, errno="EINTR"),
+            FaultRule(site="disk:latency", prob=0.2, extra_cycles=40_000),
+            FaultRule(site="mem:degraded", prob=0.001, extra_cycles=300),
+        ), seed=1998)
+
+        def once():
+            _reset_pids()
+            eng = Engine(complex_backend(num_cpus=2, faults=plan))
+            db = MiniDb(eng, tpcc_catalog(1, 0.005), pool_frames=16, seed=3)
+            db.setup()
+            drv = TpccDriver(db, nagents=2, tx_per_agent=3, seed=3,
+                             think_cycles=5_000, user_work=20_000)
+            drv.spawn_agents(eng)
+            stats = eng.run()
+            assert drv.committed == 6
+            return (stats.end_cycle, eng.events_processed,
+                    eng.faults.stats.summary(),
+                    [(c.user, c.kernel, c.interrupt, c.idle)
+                     for c in stats.cpu])
+
+        a = once()
+        b = once()
+        assert a == b
+        assert a[2]["total_fired"] > 0

@@ -1,9 +1,15 @@
 """ParallelEngine edge cases: tiny programs, mixed workloads, many workers,
-mixed inline + parallel frontends."""
+mixed inline + parallel frontends, and worker supervision (crash, kill,
+restart-with-replay, forensic reports)."""
+
+import os
+import signal
+import time
 
 import pytest
 
 from repro import complex_backend, simple_backend
+from repro.core.errors import HostError
 from repro.host import ParallelEngine, WorkerSpec
 
 TRIVIAL = """
@@ -80,6 +86,83 @@ def test_mixed_inline_and_parallel_frontends():
         eng.run()
     assert w.exit_status == 0
     assert done == ["inline"]
+
+
+def _kill_worker_child(w, timeout=5.0):
+    """Wait until the worker has sent something, then SIGKILL it."""
+    deadline = time.time() + timeout
+    while not w.conn.poll() and time.time() < deadline:
+        time.sleep(0.01)
+    os.kill(w.process.pid, signal.SIGKILL)
+    w.process.join()
+
+
+def test_worker_killed_mid_run_is_restarted():
+    """SIGKILL a worker blocked in a syscall: the supervisor relaunches it,
+    replays the consumed prefix, and the run completes bit-normally."""
+    eng = ParallelEngine(complex_backend(num_cpus=1))
+    eng.worker_backoff = 0.01
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("victim", SLEEPY))
+        w = eng._workers[p.pid]
+        _kill_worker_child(w)
+        stats = eng.run()
+    assert p.exit_status == 0
+    assert stats.end_cycle >= 50_000
+    assert w.restarts >= 1
+    assert stats.get("worker_restarts") >= 1
+
+
+def test_worker_death_with_no_restarts_is_forensic():
+    eng = ParallelEngine(complex_backend(num_cpus=1))
+    eng.max_worker_restarts = 0
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("victim", SLEEPY))
+        w = eng._workers[p.pid]
+        _kill_worker_child(w)
+        with pytest.raises(HostError) as ei:
+            eng.run()
+    assert "forensic" in str(ei.value)
+    assert "victim" in str(ei.value)
+    report = ei.value.report
+    assert report is not None
+    assert report["worker"] == "victim"
+    assert report["restarts"] == 0
+    assert report["max_restarts"] == 0
+
+
+def test_worker_crash_message_exhausts_restarts():
+    """A deterministic in-worker failure crashes every relaunch; the final
+    HostError carries the worker's own crash reason."""
+    eng = ParallelEngine(simple_backend(num_cpus=1))
+    eng.max_worker_restarts = 1
+    eng.worker_backoff = 0.01
+    with eng:
+        eng.spawn_worker(WorkerSpec("crasher", "not a real instruction"))
+        with pytest.raises(HostError) as ei:
+            eng.run()
+    msg = str(ei.value)
+    assert "forensic" in msg
+    assert "crashed" in msg
+    assert ei.value.report["restarts"] == 1
+
+
+def test_shutdown_tolerates_dead_and_never_started_workers():
+    """shutdown() must not raise for workers that already died or whose
+    process object was never started (satellite: shutdown hardening)."""
+    eng = ParallelEngine(simple_backend(num_cpus=1))
+    p = eng.spawn_worker(WorkerSpec("t", TRIVIAL))
+    w = eng._workers[p.pid]
+    # already-dead child
+    os.kill(w.process.pid, signal.SIGKILL)
+    w.process.join()
+    # never-started process object
+    import multiprocessing as mp
+    w2 = type(w)(WorkerSpec("ghost", TRIVIAL))
+    w2.process = mp.get_context("fork").Process(target=lambda: None)
+    eng._workers[-1] = w2
+    eng.shutdown()
+    eng.shutdown()   # idempotent
 
 
 def test_custom_segments_and_registers():
