@@ -28,9 +28,11 @@ from .core.clock import ClockDomain, DEFAULT_CLOCK
 from .core.config import (BackendConfig, CacheConfig, DiskConfig,
                           EthernetConfig, MemoryConfig, OSConfig, SimConfig,
                           complex_backend, simple_backend, with_os)
+from .checkpoint import CheckpointManager, load_checkpoint, resume
 from .core.engine import Engine
-from .core.errors import (CompassError, ConfigError, DeadlockError,
-                          FrontendError, MemoryError_, SchedulerError)
+from .core.errors import (CheckpointError, CompassError, ConfigError,
+                          DeadlockError, FrontendError, MemoryError_,
+                          ReplayDivergence, SchedulerError, SimulatedCrash)
 from .core.events import EvKind, Event, SyscallResult
 from .core.frontend import Proc, ProcState, SimProcess, WaitToken
 from .core.stats import StatsRegistry
@@ -62,11 +64,17 @@ __all__ = [
     "simple_backend",
     "complex_backend",
     "with_os",
+    "CheckpointManager",
+    "load_checkpoint",
+    "resume",
     "CompassError",
     "ConfigError",
+    "CheckpointError",
     "DeadlockError",
     "FrontendError",
     "MemoryError_",
+    "ReplayDivergence",
     "SchedulerError",
+    "SimulatedCrash",
     "__version__",
 ]

@@ -11,6 +11,7 @@ family).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, Optional, Tuple
 
 from ...core.engine import Engine
@@ -108,7 +109,9 @@ class MiniDb:
         return self.catalog.tables[table].schema
 
     def row_lock_id(self, table: str, rid: int) -> int:
-        return ROW_LOCK + (hash((table, rid)) & 0xFFFF)
+        # crc32, not hash(): lock ids must not depend on the interpreter's
+        # per-process string-hash salt (checkpoints resume in new processes)
+        return ROW_LOCK + (zlib.crc32(f"{table}:{rid}".encode()) & 0xFFFF)
 
     def get_record(self, proc: Proc, table: str, rid: int,
                    for_write: bool = False):

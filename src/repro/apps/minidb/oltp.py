@@ -10,6 +10,7 @@ interrupt-handler-heavy profile of the paper's 400 MB TPCC run.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional
 
 from ...core.engine import Engine
@@ -133,7 +134,8 @@ class TpccDriver:
 
     def agent_body(self, proc: Proc, agent_index: int):
         """One DB2-style agent: initialise, run the transaction mix, exit."""
-        rng = random.Random((self.seed, agent_index).__hash__() & 0x7FFFFFFF)
+        rng = random.Random(
+            zlib.crc32(f"{self.seed}:{agent_index}".encode()))
         yield from self.db.agent_init(proc)
         for _tx in range(self.tx_per_agent):
             # user-mode SQL work: parse/optimize (plan cache walk), then
@@ -178,7 +180,7 @@ class TpccDriver:
             tables[name] = bytearray(node.data) if node else bytearray()
         committed = 0
         for a in range(self.nagents):
-            rng = random.Random((self.seed, a).__hash__() & 0x7FFFFFFF)
+            rng = random.Random(zlib.crc32(f"{self.seed}:{a}".encode()))
             for _ in range(self.tx_per_agent):
                 rng.random()
                 w = rng.randrange(cat["warehouse"].nrecords)

@@ -1,0 +1,112 @@
+"""Memory-system wrappers: record backend replies, or replay them.
+
+The engine reaches the memory system only through ``engine.memsys``, so a
+delegating wrapper captures (or substitutes) the full reply stream without
+touching the hierarchy itself. Both wrappers run the *tapped* per-reference
+loop for batched runs — already proven bit-identical to the inlined hot
+loop by the fast-path equivalence tests — so recording changes no timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.errors import ReplayDivergence
+
+#: reply-log sentinel for "this access raised a major fault"
+MAJOR_FAULT = -1
+
+
+class _MemoryWrapper:
+    """Delegates everything to the real MemorySystem except the two access
+    entry points, which subclasses intercept."""
+
+    def __init__(self, real, replies: Dict[int, List[int]]) -> None:
+        self.real = real
+        self.replies = replies
+
+    def __getattr__(self, name):
+        return getattr(self.real, name)
+
+    def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
+                   sizes: list, pends: list, i: int, n: int, t: int,
+                   limit: int, horizon: int, clock=None):
+        # mirror of MemorySystem.access_run's tapped branch: identical
+        # issue-time arithmetic and cut conditions, one access() per
+        # reference so the wrapper sees the full stream
+        access = self.access
+        consumed = 0
+        added = 0
+        while True:
+            k = kinds[i]
+            if clock is not None and t > clock.now:
+                clock.now = t
+            lat, major = access(pid, addrs[i], sizes[i], k != 0, cpu,
+                                t, atomic=(k == 2))
+            consumed += 1
+            if major is not None:
+                return consumed, i, t, added, major
+            added += lat
+            t += lat
+            i += 1
+            if i >= n or consumed >= limit:
+                return consumed, i, t, added, None
+            nt = t + pends[i]
+            if nt >= horizon:
+                return consumed, i, t, added, None
+            t = nt
+
+
+class RecordingMemory(_MemoryWrapper):
+    """Pass every access through and append its reply to the per-pid log."""
+
+    def access(self, pid, vaddr, size, write, cpu, now, atomic=False):
+        lat, major = self.real.access(pid, vaddr, size, write, cpu, now,
+                                      atomic=atomic)
+        log = self.replies.get(pid)
+        if log is None:
+            log = self.replies[pid] = []
+        log.append(MAJOR_FAULT if major is not None else lat)
+        return lat, major
+
+
+class ReplayMemory(_MemoryWrapper):
+    """Answer every access from the log; the hierarchy is never touched.
+
+    A :data:`MAJOR_FAULT` entry reconstructs the fault by asking the live
+    VMM to translate the access's own address — valid because ``access``
+    translates exactly once per reference, and the file-backed mapping
+    state the decision depends on is maintained live by the replayed
+    mmap/page-install path.
+    """
+
+    def __init__(self, real, replies: Dict[int, List[int]]) -> None:
+        super().__init__(real, replies)
+        self.cursors: Dict[int, int] = {}
+
+    def access(self, pid, vaddr, size, write, cpu, now, atomic=False):
+        log = self.replies.get(pid)
+        c = self.cursors.get(pid, 0)
+        if log is None or c >= len(log):
+            raise ReplayDivergence(
+                f"pid {pid} issued more memory accesses than recorded "
+                f"({c} replies in the log)")
+        self.cursors[pid] = c + 1
+        lat = log[c]
+        if lat == MAJOR_FAULT:
+            _, major, _ = self.real.vmm.translate(pid, vaddr, write, cpu)
+            if major is None:
+                raise ReplayDivergence(
+                    f"recorded major fault for pid {pid} at {vaddr:#x} "
+                    "did not reproduce during replay")
+            return 0, major
+        return lat, None
+
+    def check_exhausted(self) -> None:
+        """Every recorded reply must have been consumed at the stop point."""
+        for pid, log in self.replies.items():
+            c = self.cursors.get(pid, 0)
+            if c != len(log):
+                raise ReplayDivergence(
+                    f"pid {pid} consumed {c} of {len(log)} recorded "
+                    "replies: replay stopped short of the checkpoint")

@@ -1,0 +1,247 @@
+"""The checkpoint manager: autosave, crash simulation, and restore.
+
+One manager is attached per engine when ``SimConfig.checkpoint_interval``
+is set. In **record** mode it logs every backend reply (via
+:class:`~repro.checkpoint.log.RecordingMemory` and the fault injector's
+outcome FIFO), tracks the ``run()`` segments the caller issues, and
+autosaves an atomic pickle every ``interval`` processed events. In
+**replay** mode (during :meth:`CheckpointManager.restore`) it re-drives
+the recorded segments against the reply log and stops each one exactly at
+its recorded event count — bypassing ``run()``'s finalisation so the
+pending timer tick survives — then verifies and installs the snapshot and
+switches back to record mode, live.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import CheckpointError, ReplayDivergence, SimulatedCrash
+from ..core.frontend import SimProcess
+from .log import RecordingMemory, ReplayMemory
+from .snapshot import collect_snapshot, install_snapshot, verify_snapshot
+
+#: checkpoint file format version (bump on incompatible layout changes)
+FORMAT_VERSION = 1
+
+
+def _worker_fingerprint(engine) -> Optional[Dict[int, Tuple[str, int]]]:
+    """Parallel-mode workload identity: worker name + program-text CRC."""
+    workers = getattr(engine, "_workers", None)
+    if not workers:
+        return None
+    return {pid: (w.spec.name, zlib.crc32(w.spec.program_text.encode()))
+            for pid, w in workers.items()}
+
+
+class CheckpointManager:
+    """Record/replay controller for one engine."""
+
+    def __init__(self, engine, path: str, interval: int) -> None:
+        if interval <= 0:
+            raise CheckpointError("checkpoint interval must be positive")
+        self.engine = engine
+        self.path = path
+        self.interval = int(interval)
+        self.mode = "record"
+        #: per-pid backend replies since cycle 0 (grows across resumes)
+        self.replies: Dict[int, List[int]] = {}
+        #: per-site fault-injection outcomes since cycle 0
+        self.fault_log: Dict[str, List[int]] = {}
+        #: every run() call: bounds + event counter at entry; the copy
+        #: stored in a checkpoint pins ``stop_events`` on the last segment
+        self.segments: List[Dict[str, Any]] = []
+        #: SimProcess pid counter before any workload spawns — restored
+        #: ahead of the builder on resume so pids reproduce
+        self.pid_base = SimProcess.pid_counter()
+        #: lifetime autosaves (survives resume); this-process autosaves
+        self.saves = 0
+        self.session_saves = 0
+        #: testing/CI knob: raise SimulatedCrash after the Nth autosave of
+        #: this process — a deterministic stand-in for kill -9
+        self.crash_after_saves: Optional[int] = None
+        self.workload_fp: Optional[Dict[int, str]] = None
+        self.worker_fp: Optional[Dict[int, Tuple[str, int]]] = None
+        self._next_save = self.interval
+        self._replay_idx = -1
+        engine.memsys = RecordingMemory(engine.memsys, self.replies)
+        engine.faults.begin_recording(self.fault_log)
+
+    # -- engine hooks ------------------------------------------------------
+
+    def on_run_begin(self, engine, until: Optional[int],
+                     max_events: Optional[int]) -> None:
+        """Called at every ``run()`` entry."""
+        if self.workload_fp is None:
+            # the initial process set is the workload identity (mid-run
+            # forks are products of the run, not part of the fingerprint)
+            self.workload_fp = {p.pid: p.name
+                                for p in engine.comm.processes.values()}
+            self.worker_fp = _worker_fingerprint(engine)
+        if self.mode == "record":
+            self.segments.append({"until": until, "max_events": max_events,
+                                  "events_at_start": engine.events_processed,
+                                  "stop_events": None})
+
+    def on_loop_top(self, engine) -> bool:
+        """Called at the top of every scheduler round while live processes
+        remain. Returns True when the run loop must stop *without*
+        finalising (replay reached the checkpoint's event count)."""
+        if self.mode == "replay":
+            stop = self.segments[self._replay_idx]["stop_events"]
+            return stop is not None and engine.events_processed >= stop
+        if engine.events_processed >= self._next_save:
+            while self._next_save <= engine.events_processed:
+                self._next_save += self.interval
+            self.save()
+        return False
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self) -> str:
+        """Write an atomic checkpoint of the current loop-top state."""
+        engine = self.engine
+        segments = [dict(s) for s in self.segments]
+        if not segments:
+            raise CheckpointError("nothing to save: run() was never entered")
+        segments[-1]["stop_events"] = engine.events_processed
+        ckpt = {
+            "version": FORMAT_VERSION,
+            "config_fp": repr(engine.cfg),
+            "workload_fp": self.workload_fp,
+            "worker_fp": self.worker_fp,
+            "pid_base": self.pid_base,
+            "events_processed": engine.events_processed,
+            "saves": self.saves + 1,
+            "replies": self.replies,
+            "fault_log": self.fault_log,
+            "segments": segments,
+            "snapshot": collect_snapshot(engine),
+        }
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump(ckpt, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self.path)
+        self.saves += 1
+        self.session_saves += 1
+        if (self.crash_after_saves is not None
+                and self.session_saves >= self.crash_after_saves):
+            raise SimulatedCrash(
+                f"simulated host crash after autosave #{self.saves} "
+                f"(cycle {engine.gsched.now}, "
+                f"{engine.events_processed} events)")
+        return self.path
+
+    # -- restoring ---------------------------------------------------------
+
+    def restore(self, ckpt: Dict[str, Any]) -> None:
+        """Fast-forward this (freshly built) engine to the checkpoint."""
+        engine = self.engine
+        if ckpt.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format {ckpt.get('version')!r} != "
+                f"{FORMAT_VERSION}")
+        if ckpt["config_fp"] != repr(engine.cfg):
+            raise CheckpointError(
+                "configuration fingerprint mismatch: the engine was built "
+                "with a different SimConfig than the checkpointed run")
+        live_fp = {p.pid: p.name for p in engine.comm.processes.values()}
+        if live_fp != ckpt["workload_fp"]:
+            raise CheckpointError(
+                f"workload fingerprint mismatch: checkpoint recorded "
+                f"{ckpt['workload_fp']}, builder spawned {live_fp}")
+        live_wfp = _worker_fingerprint(engine)
+        if live_wfp != ckpt["worker_fp"]:
+            raise CheckpointError(
+                "parallel worker fingerprint mismatch: worker specs differ "
+                "from the checkpointed run")
+        self.workload_fp = ckpt["workload_fp"]
+        self.worker_fp = ckpt["worker_fp"]
+        # adopt the recorded history; these same containers keep growing
+        # once recording resumes, so later checkpoints stay complete
+        self.replies.clear()
+        self.replies.update(ckpt["replies"])
+        self.fault_log.clear()
+        self.fault_log.update(ckpt["fault_log"])
+        self.segments = [dict(s) for s in ckpt["segments"]]
+        self.saves = ckpt["saves"]
+        self._next_save = ckpt["events_processed"] + self.interval
+
+        real = engine.memsys.real
+        replay = ReplayMemory(real, self.replies)
+        engine.memsys = replay
+        engine.faults.begin_replay(self.fault_log)
+        self.mode = "replay"
+        try:
+            for idx, seg in enumerate(self.segments):
+                self._replay_idx = idx
+                engine.run(seg["until"], seg["max_events"])
+                stop = seg["stop_events"]
+                if (stop is not None
+                        and engine.events_processed != stop):
+                    raise ReplayDivergence(
+                        f"segment {idx} replayed to event "
+                        f"{engine.events_processed}, checkpoint stopped "
+                        f"at {stop}")
+            if engine.events_processed != ckpt["events_processed"]:
+                raise ReplayDivergence(
+                    f"replay processed {engine.events_processed} events, "
+                    f"checkpoint recorded {ckpt['events_processed']}")
+            replay.check_exhausted()
+            verify_snapshot(engine, ckpt["snapshot"])
+        finally:
+            self._replay_idx = -1
+        install_snapshot(engine, ckpt["snapshot"])
+        # switch live: record onto the same history from here on
+        engine.memsys = RecordingMemory(real, self.replies)
+        engine.faults.begin_recording(self.fault_log)
+        self.mode = "record"
+
+    def finish(self, engine=None):
+        """Run the remainder of the interrupted segment (the portion the
+        crash cut off) with its original bounds; returns the stats."""
+        engine = engine if engine is not None else self.engine
+        seg = self.segments[-1]
+        stop = seg["stop_events"]
+        if stop is None:
+            raise CheckpointError("last segment has no recorded stop point")
+        remaining = None
+        if seg["max_events"] is not None:
+            remaining = seg["max_events"] - (stop - seg["events_at_start"])
+        return engine.run(seg["until"], remaining)
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read a checkpoint file (no side effects)."""
+    with open(path, "rb") as f:
+        ckpt = pickle.load(f)
+    if not isinstance(ckpt, dict) or "version" not in ckpt:
+        raise CheckpointError(f"{path!r} is not a checkpoint file")
+    return ckpt
+
+
+def resume(path: str, build: Callable[[], Any], finish: bool = True):
+    """Resume a killed/crashed run from its autosave.
+
+    ``build`` must reconstruct the engine exactly as the original driver
+    did — same SimConfig (with checkpointing enabled), same workload
+    spawns — and return it without calling ``run()``. Returns
+    ``(engine, stats)``; with ``finish=True`` the interrupted segment is
+    run to its original bounds first.
+    """
+    ckpt = load_checkpoint(path)
+    SimProcess.set_pid_counter(ckpt["pid_base"])
+    engine = build()
+    mgr = getattr(engine, "_ckpt", None)
+    if mgr is None:
+        raise CheckpointError(
+            "the rebuilt engine has checkpointing disabled: set "
+            "checkpoint_path/checkpoint_interval in its SimConfig")
+    mgr.restore(ckpt)
+    stats = engine.stats
+    if finish:
+        stats = mgr.finish(engine)
+    return engine, stats

@@ -212,6 +212,12 @@ class SimConfig:
     #: DeadlockError. The default is far above anything a legitimate
     #: workload produces at one cycle.
     watchdog_rounds: int = 1_000_000
+    #: checkpoint/restore: autosave an engine checkpoint to this path every
+    #: ``checkpoint_interval`` processed events. 0 disables the subsystem
+    #: entirely — no manager is created, no wrapper is installed, and runs
+    #: are bit-identical to a build without it.
+    checkpoint_path: Optional[str] = None
+    checkpoint_interval: int = 0
 
     def validate(self) -> "SimConfig":
         if self.num_cpus <= 0:
@@ -224,6 +230,14 @@ class SimConfig:
             raise ConfigError("watchdog_rounds must be positive")
         if self.faults is not None:
             self.faults.validate()
+        if self.checkpoint_interval < 0:
+            raise ConfigError("checkpoint_interval must be >= 0")
+        if self.checkpoint_interval > 0 and not self.checkpoint_path:
+            raise ConfigError(
+                "checkpoint_interval requires a checkpoint_path")
+        if self.checkpoint_path and self.checkpoint_interval <= 0:
+            raise ConfigError(
+                "checkpoint_path requires checkpoint_interval > 0")
         if self.backend.coherence == "mesi" and self.backend.memory.num_nodes > 1:
             raise ConfigError("MESI bus snooping models a single-node SMP")
         return self

@@ -116,6 +116,13 @@ class Engine:
         #: ring of the most recent events, for deadlock/livelock forensics:
         #: (cycle, pid, event kind) tuples
         self._recent_events: deque = deque(maxlen=8)
+        #: deterministic checkpoint/restore; None = subsystem entirely off
+        #: (no wrapper installed, no hook bound, zero cost)
+        self._ckpt = None
+        if getattr(cfg, "checkpoint_interval", 0) > 0:
+            from ..checkpoint import CheckpointManager
+            self._ckpt = CheckpointManager(self, cfg.checkpoint_path,
+                                           cfg.checkpoint_interval)
 
     def _wire_faults(self) -> None:
         """Bind injection hooks at every armed site.
@@ -220,6 +227,9 @@ class Engine:
         if not self._timer_started:
             self.timer.start()
             self._timer_started = True
+        ck = self._ckpt
+        if ck is not None:
+            ck.on_run_begin(self, until, max_events)
         t0 = _wallclock.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
         wd_rounds = 0
@@ -227,6 +237,11 @@ class Engine:
         while budget > 0:
             if self._live <= 0:
                 break
+            if ck is not None and ck.on_loop_top(self):
+                # replay reached the checkpoint's event count: stop without
+                # finalising (timer.stop would kill the pending tick the
+                # checkpointed run still had armed)
+                return self.stats
             now = self.gsched.now
             if now != wd_time:
                 wd_time = now

@@ -74,6 +74,30 @@ class DeadlockError(CompassError):
         self.report = report
 
 
+class CheckpointError(CompassError):
+    """Raised for unusable checkpoints: version mismatch, corrupt file, or
+    a config/workload fingerprint that does not match the resuming engine."""
+
+
+class ReplayDivergence(CheckpointError):
+    """Raised when the restore fast-forward diverges from the recorded run.
+
+    During restore the frontends re-execute against the recorded reply log;
+    any step that needs a reply the log does not hold (or rebuilds backend
+    state that fails verification against the snapshot) means the workload,
+    config or code changed since the checkpoint was written.
+    """
+
+
+class SimulatedCrash(CompassError):
+    """Deterministic stand-in for a host crash (chaos/CI kill tests).
+
+    Raised by the checkpoint manager when ``crash_after_saves`` is armed:
+    the run dies mid-flight exactly as a SIGKILL would leave it — autosave
+    on disk, engine state abandoned.
+    """
+
+
 class InstrumentationError(CompassError):
     """Raised by the instrumentor for malformed programs."""
 

@@ -87,6 +87,17 @@ class SimProcess:
 
     _next_pid = [1]
 
+    @classmethod
+    def pid_counter(cls) -> int:
+        """Next pid to be assigned (checkpointed so a resumed run recreates
+        the same pid sequence)."""
+        return cls._next_pid[0]
+
+    @classmethod
+    def set_pid_counter(cls, value: int) -> None:
+        """Reset the global pid sequence (restore/test harness use only)."""
+        cls._next_pid[0] = value
+
     def __init__(self, name: str, clock: Optional[FrontendClock] = None) -> None:
         self.pid = SimProcess._next_pid[0]
         SimProcess._next_pid[0] += 1

@@ -55,6 +55,22 @@ class GlobalScheduler:
     def __len__(self) -> int:
         return len(self._heap)
 
+    def state_dict(self) -> dict:
+        """Verification snapshot. The heap holds closures and cannot be
+        serialized; a restore rebuilds it by replay, and this summary (time,
+        tie-break sequence, queue shape) is what the rebuilt heap must match
+        for the tie-break order to stay bit-identical."""
+        return {"now": self.now, "seq": self._seq,
+                "dispatched": self.dispatched,
+                "heap_len": len(self._heap),
+                "next_time": self.next_time()}
+
+    def load_state(self, state: dict) -> None:
+        """Restore the scalar counters (the heap itself is rebuilt live)."""
+        self.now = state["now"]
+        self._seq = state["seq"]
+        self.dispatched = state["dispatched"]
+
     def schedule_at(self, when: int, fn: Task, *args: Any) -> ScheduledTask:
         """Schedule ``fn(*args)`` to run at absolute cycle ``when``."""
         if when < self.now:

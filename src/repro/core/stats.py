@@ -27,6 +27,13 @@ class Counter:
         if key is not None:
             self.by_key[key] = self.by_key.get(key, 0) + n
 
+    def state_dict(self) -> Dict[str, object]:
+        return {"total": self.total, "by_key": dict(self.by_key)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.total = state["total"]
+        self.by_key = dict(state["by_key"])
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Counter({self.name}={self.total})"
 
@@ -53,6 +60,18 @@ class CpuTimeStats:
     def busy(self) -> int:
         """Cycles the CPU spent executing anything (excludes idle)."""
         return self.user + self.kernel + self.interrupt + self.ctx_switch
+
+    def state_dict(self) -> Dict[str, int]:
+        return {"user": self.user, "kernel": self.kernel,
+                "interrupt": self.interrupt, "idle": self.idle,
+                "ctx_switch": self.ctx_switch}
+
+    def load_state(self, state: Dict[str, int]) -> None:
+        self.user = state["user"]
+        self.kernel = state["kernel"]
+        self.interrupt = state["interrupt"]
+        self.idle = state["idle"]
+        self.ctx_switch = state["ctx_switch"]
 
     def breakdown(self) -> Dict[str, float]:
         """Fractions of busy time per bucket (paper's Table 1 convention)."""
@@ -96,6 +115,40 @@ class StatsRegistry:
         """Total of counter ``name`` (0 when absent)."""
         c = self.counters.get(name)
         return c.total if c else 0
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot of every statistic."""
+        return {
+            "counters": {n: c.state_dict() for n, c in self.counters.items()},
+            "cpu": [c.state_dict() for c in self.cpu],
+            "syscall_cycles": dict(self.syscall_cycles),
+            "syscall_counts": dict(self.syscall_counts),
+            "interrupt_cycles": dict(self.interrupt_cycles),
+            "interrupt_counts": dict(self.interrupt_counts),
+            "end_cycle": self.end_cycle,
+            "host_seconds": self.host_seconds,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot in place. The registry object itself and its
+        per-CPU :class:`CpuTimeStats` objects are preserved (engine, memory
+        system and fault injector all hold references to them)."""
+        self.counters.clear()
+        for name, cs in state["counters"].items():
+            c = Counter(name)
+            c.load_state(cs)
+            self.counters[name] = c
+        for c, cs in zip(self.cpu, state["cpu"]):
+            c.load_state(cs)
+        for attr in ("syscall_cycles", "syscall_counts",
+                     "interrupt_cycles", "interrupt_counts"):
+            d = getattr(self, attr)
+            d.clear()
+            d.update(state[attr])
+        self.end_cycle = state["end_cycle"]
+        self.host_seconds = state["host_seconds"]
 
     # -- aggregate views -----------------------------------------------------
 

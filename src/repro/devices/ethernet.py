@@ -53,6 +53,20 @@ class EthernetNic:
         #: called with each received Frame at interrupt time (TCP/IP input)
         self.on_receive: Optional[Callable[[Frame], None]] = None
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"wire_busy_until": self._wire_busy_until,
+                "rx_frames": self.rx_frames, "tx_frames": self.tx_frames,
+                "rx_bytes": self.rx_bytes, "tx_bytes": self.tx_bytes}
+
+    def load_state(self, state: dict) -> None:
+        self._wire_busy_until = state["wire_busy_until"]
+        self.rx_frames = state["rx_frames"]
+        self.tx_frames = state["tx_frames"]
+        self.rx_bytes = state["rx_bytes"]
+        self.tx_bytes = state["tx_bytes"]
+
     def _wire_cycles(self, nbytes: int) -> int:
         c = self.clock
         return (c.us_to_cycles(self.cfg.frame_us)

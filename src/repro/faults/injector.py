@@ -17,6 +17,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..core import events as ev
+from ..core.errors import ReplayDivergence
 from .plan import FaultPlan, FaultRule
 
 #: Kernel cycles charged for a syscall aborted at entry (argument
@@ -79,6 +80,57 @@ class FaultInjector:
             else:
                 self._exact.setdefault(rule.site, []).append(idx)
         self._site_cache: Dict[str, Tuple[int, ...]] = {}
+        # checkpoint support: while recording, every check() outcome is
+        # appended to a per-site FIFO (rule index, -1 = no fire); while
+        # replaying, check() pops that FIFO verbatim and touches *nothing*
+        # else — no counters, no RNG — so sites the replay never revisits
+        # (memory, links) cannot desynchronise the shared stream. Counters
+        # and RNG state are restored from the snapshot at switch-to-live.
+        self._rec_log: Optional[Dict[str, List[int]]] = None
+        self._replay_log: Optional[Dict[str, List[int]]] = None
+        self._replay_cursor: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot of every piece of mutable injector state."""
+        return {
+            "visits": list(self._visits),
+            "fires": list(self._fires),
+            "rng": self.rng.getstate(),
+            "stats": {"seed": self.stats.seed,
+                      "fired": dict(self.stats.fired),
+                      "draws": self.stats.draws},
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (exact round-trip)."""
+        visits = state["visits"]
+        fires = state["fires"]
+        if len(visits) != len(self._visits) or len(fires) != len(self._fires):
+            raise ReplayDivergence(
+                f"fault plan shape changed: snapshot has {len(visits)} rules,"
+                f" live plan has {len(self._visits)}")
+        self._visits[:] = visits
+        self._fires[:] = fires
+        self.rng.setstate(state["rng"])
+        st = state["stats"]
+        self.stats.seed = st["seed"]
+        self.stats.fired = dict(st["fired"])
+        self.stats.draws = st["draws"]
+
+    def begin_recording(self, log: Dict[str, List[int]]) -> None:
+        """Append every future check() outcome to ``log`` (caller-owned)."""
+        self._rec_log = log
+        self._replay_log = None
+        self._replay_cursor = None
+
+    def begin_replay(self, log: Dict[str, List[int]]) -> None:
+        """Answer future check() calls from ``log`` instead of evaluating."""
+        self._replay_log = log
+        self._replay_cursor = {}
+        self._rec_log = None
 
     # ------------------------------------------------------------------
     # wiring helpers
@@ -100,6 +152,20 @@ class FaultInjector:
         visit counters always advance and probability draws always
         consume RNG state in the same order, so same-seed runs agree.
         """
+        rp = self._replay_log
+        if rp is not None:
+            # restore fast-forward: the recorded outcome is the answer; no
+            # bookkeeping here — the snapshot install fixes it all at once
+            cur = self._replay_cursor
+            c = cur.get(site, 0)
+            outcomes = rp.get(site)
+            if outcomes is None or c >= len(outcomes):
+                raise ReplayDivergence(
+                    f"fault site {site!r} visited more times than recorded "
+                    f"({c} outcomes in the log)")
+            cur[site] = c + 1
+            idx = outcomes[c]
+            return None if idx < 0 else self._rules[idx]
         idxs = self._site_cache.get(site)
         if idxs is None:
             exact = self._exact.get(site, ())
@@ -108,6 +174,7 @@ class FaultInjector:
             idxs = tuple(exact) + wild
             self._site_cache[site] = idxs
         hit: Optional[FaultRule] = None
+        hit_idx = -1
         for i in idxs:
             self._visits[i] += 1
             if hit is not None:
@@ -125,6 +192,10 @@ class FaultInjector:
                 if self._registry is not None:
                     self._registry.counter("faults_injected").add(key=site)
                 hit = rule
+                hit_idx = i
+        rec = self._rec_log
+        if rec is not None:
+            rec.setdefault(site, []).append(hit_idx)
         return hit
 
     # ------------------------------------------------------------------

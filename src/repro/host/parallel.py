@@ -513,6 +513,9 @@ class ParallelEngine(Engine):
         if not self._timer_started:
             self.timer.start()
             self._timer_started = True
+        ck = self._ckpt
+        if ck is not None:
+            ck.on_run_begin(self, until, max_events)
         t0 = _wall.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
         since_harvest = 0
@@ -522,6 +525,9 @@ class ParallelEngine(Engine):
         while budget > 0:
             if self._live <= 0:
                 break
+            if ck is not None and ck.on_loop_top(self):
+                # replay stop: skip finalisation, same as Engine.run
+                return self.stats
             now = self.gsched.now
             if now != wd_time:
                 wd_time = now

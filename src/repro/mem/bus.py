@@ -46,6 +46,19 @@ class OccupancyResource:
         self.busy_cycles += service
         return wait + service
 
+    def state_dict(self) -> dict:
+        """Plain-data snapshot (the fault hook is rebound by its owner)."""
+        return {"busy_until": self.busy_until,
+                "transactions": self.transactions,
+                "wait_cycles": self.wait_cycles,
+                "busy_cycles": self.busy_cycles}
+
+    def load_state(self, state: dict) -> None:
+        self.busy_until = state["busy_until"]
+        self.transactions = state["transactions"]
+        self.wait_cycles = state["wait_cycles"]
+        self.busy_cycles = state["busy_cycles"]
+
     def utilisation(self, horizon: int) -> float:
         """Fraction of [0, horizon) this resource was busy."""
         return self.busy_cycles / horizon if horizon > 0 else 0.0

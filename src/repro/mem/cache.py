@@ -136,6 +136,32 @@ class Cache:
         self.hits = self.misses = 0
         self.evictions = self.writebacks = self.invalidations = 0
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot: per-set MRU order, line states, counters."""
+        return {
+            "sets": [list(s) for s in self._sets],
+            "states": dict(self._states),
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "writebacks": self.writebacks,
+            "invalidations": self.invalidations,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot. The ``_sets``/``_states`` containers are
+        mutated in place: the memory system's fast-path filter holds direct
+        references to them."""
+        for dst, src in zip(self._sets, state["sets"]):
+            dst[:] = src
+        self._states.clear()
+        self._states.update(state["states"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+        self.writebacks = state["writebacks"]
+        self.invalidations = state["invalidations"]
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

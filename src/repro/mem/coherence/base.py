@@ -55,6 +55,17 @@ class CoherenceProtocol:
     def count(self, key: str, n: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + n
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Plain-data snapshot; subclasses extend with their global line
+        state and shared-resource occupancies."""
+        return {"counters": dict(self.counters)}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.counters.clear()
+        self.counters.update(state["counters"])
+
     def _drop_peer(self, cpu: int, line: int) -> Optional[int]:
         """Invalidate ``line`` in peer ``cpu``'s caches; returns its prior
         outer state (None when absent)."""

@@ -67,6 +67,32 @@ class ComaProtocol(CoherenceProtocol):
             self._am_load[node] += 1
         return e
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def state_dict(self):
+        st = super().state_dict()
+        st["map"] = {line: (sorted(e.holders), e.owner)
+                     for line, e in self._map.items()}
+        st["amctl"] = [r.state_dict() for r in self.amctl]
+        st["am_load"] = list(self._am_load)
+        st["relocations"] = self.relocations
+        st["network"] = self.network.state_dict()
+        return st
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._map.clear()
+        for line, (holders, owner) in state["map"].items():
+            e = _ComaEntry()
+            e.holders = set(holders)
+            e.owner = owner
+            self._map[line] = e
+        for r, rs in zip(self.amctl, state["amctl"]):
+            r.load_state(rs)
+        self._am_load[:] = state["am_load"]
+        self.relocations = state["relocations"]
+        self.network.load_state(state["network"])
+
     def _nearest_holder(self, node: int, e: _ComaEntry) -> int:
         if node in e.holders:
             return node

@@ -52,6 +52,28 @@ class DirectoryProtocol(CoherenceProtocol):
     def _home(self, line: int) -> int:
         return self.home_of(self.line_paddr(line))
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def state_dict(self):
+        st = super().state_dict()
+        st["dir"] = {line: (sorted(e.sharers), e.owner)
+                     for line, e in self._dir.items()}
+        st["dirctl"] = [r.state_dict() for r in self.dirctl]
+        st["network"] = self.network.state_dict()
+        return st
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._dir.clear()
+        for line, (sharers, owner) in state["dir"].items():
+            e = _DirEntry()
+            e.sharers = set(sharers)
+            e.owner = owner
+            self._dir[line] = e
+        for r, rs in zip(self.dirctl, state["dirctl"]):
+            r.load_state(rs)
+        self.network.load_state(state["network"])
+
     # -- contract ---------------------------------------------------------
 
     def read_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:

@@ -56,6 +56,31 @@ class DsmProtocol(CoherenceProtocol):
     def _page_of_line(self, line: int) -> int:
         return self.line_paddr(line) // self.page_size
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def state_dict(self):
+        st = super().state_dict()
+        st["pages"] = {page: (sorted(e.holders), e.owner)
+                       for page, e in self._pages.items()}
+        st["memctl"] = [r.state_dict() for r in self.memctl]
+        st["write_ok"] = sorted(self._write_ok)
+        st["network"] = self.network.state_dict()
+        return st
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self._pages.clear()
+        for page, (holders, owner) in state["pages"].items():
+            e = _PageEntry(owner if owner >= 0 else 0)
+            e.holders = set(holders)
+            e.owner = owner
+            self._pages[page] = e
+        for r, rs in zip(self.memctl, state["memctl"]):
+            r.load_state(rs)
+        self._write_ok.clear()
+        self._write_ok.update(tuple(k) for k in state["write_ok"])
+        self.network.load_state(state["network"])
+
     def _entry(self, page: int) -> _PageEntry:
         e = self._pages.get(page)
         if e is None:

@@ -28,6 +28,17 @@ class MesiBusProtocol(CoherenceProtocol):
         self.c2c_latency = c2c_latency
         self.bus = OccupancyResource("bus", bus_latency)
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def state_dict(self):
+        st = super().state_dict()
+        st["bus"] = self.bus.state_dict()
+        return st
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.bus.load_state(state["bus"])
+
     # -- snoop helpers ------------------------------------------------------
 
     def _snoop(self, requester: int, line: int):

@@ -28,6 +28,15 @@ class PrivateProtocol(CoherenceProtocol):
         self.dram_latency = dram_latency
         self.memctl = OccupancyResource("memctl", bus_latency)
 
+    def state_dict(self):
+        st = super().state_dict()
+        st["memctl"] = self.memctl.state_dict()
+        return st
+
+    def load_state(self, state) -> None:
+        super().load_state(state)
+        self.memctl.load_state(state["memctl"])
+
     def read_miss(self, cpu: int, line: int, now: int) -> Tuple[int, int]:
         self.count("read_miss")
         return (self.memctl.occupy(now) + self.dram_latency,

@@ -428,6 +428,39 @@ class MemorySystem:
         else:
             self.protocol.forget(cpu, vline)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of the whole memory system: every cache's
+        sets/states, the coherence protocol's global line state and shared
+        resources, the VMM's translation state, and the counters."""
+        return {
+            "accesses": self.accesses,
+            "fast_hits": self.fast_hits,
+            "fast_fallbacks": self.fast_fallbacks,
+            "l1": [c.state_dict() for c in self.l1s],
+            "l2": ([c.state_dict() for c in self.l2s]
+                   if self.l2s is not None else None),
+            "protocol": self.protocol.state_dict(),
+            "vmm": self.vmm.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot in place; all fast-path container references
+        (``_kernel_table``, ``_spaces``, ``_l1_states`` …) stay valid
+        because every component mutates its containers rather than
+        replacing them."""
+        self.accesses = state["accesses"]
+        self.fast_hits = state["fast_hits"]
+        self.fast_fallbacks = state["fast_fallbacks"]
+        for c, cs in zip(self.l1s, state["l1"]):
+            c.load_state(cs)
+        if self.l2s is not None and state["l2"] is not None:
+            for c, cs in zip(self.l2s, state["l2"]):
+                c.load_state(cs)
+        self.protocol.load_state(state["protocol"])
+        self.vmm.load_state(state["vmm"])
+
     # -- reporting ------------------------------------------------------------
 
     def cache_summary(self) -> dict:

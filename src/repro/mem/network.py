@@ -87,6 +87,26 @@ class MeshNetwork:
             t += d
         return latency
 
+    def state_dict(self) -> dict:
+        """Plain-data snapshot: message counters + every lazy link's state."""
+        return {
+            "messages": self.messages,
+            "total_hops": self.total_hops,
+            "links": {k: r.state_dict() for k, r in self._links.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot; links absent from the live set are recreated
+        (with the current fault hook reapplied)."""
+        self.messages = state["messages"]
+        self.total_hops = state["total_hops"]
+        self._links.clear()
+        for key, lstate in state["links"].items():
+            r = OccupancyResource(f"link{key}", self._link_occ)
+            r.fault_hook = self.fault_hook
+            r.load_state(lstate)
+            self._links[key] = r
+
     def link_stats(self) -> Dict[Tuple[int, int], int]:
         """Directed link -> transactions carried."""
         return {k: v.transactions for k, v in self._links.items()}

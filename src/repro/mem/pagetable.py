@@ -62,6 +62,13 @@ class PhysMem:
         """Owning NUMA node of a frame."""
         return ppn // self.frames_per_node
 
+    def state_dict(self) -> dict:
+        return {"next": list(self._next), "allocated": self.allocated}
+
+    def load_state(self, state: dict) -> None:
+        self._next[:] = state["next"]
+        self.allocated = state["allocated"]
+
     def free_frames(self, node: int) -> int:
         return self.frames_per_node - self._next[node]
 
@@ -357,3 +364,60 @@ class Vmm:
     def home_of_paddr(self, paddr: int) -> int:
         """NUMA home node of a physical address."""
         return self.phys.home_node(paddr // self.page_size)
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot of translation state. VMAs are *not* here:
+        they are rebuilt live by the replayed mmap/shmat calls; only the
+        frame assignments (which depend on allocation order, not replayable
+        without the backend) need installing."""
+        return {
+            "spaces": {pid: dict(sp.table)
+                       for pid, sp in self._spaces.items()},
+            "kernel_table": dict(self._kernel.table),
+            "segments": {shmid: {"pages": list(seg.pages),
+                                 "nattach": seg.nattach}
+                         for shmid, seg in self._segments.items()},
+            "key_to_shmid": dict(self._key_to_shmid),
+            "next_shmid": self._next_shmid,
+            "file_pages": list(self._file_pages.items()),
+            "phys": self.phys.state_dict(),
+            "minor_faults": self.minor_faults,
+            "major_faults": self.major_faults,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot into a live Vmm whose spaces/segments were
+        already recreated (by replayed spawns and shm calls). Containers are
+        mutated in place — the memory system's fast path holds direct
+        references to ``_kernel.table`` and ``_spaces``."""
+        snap_pids = set(state["spaces"])
+        live_pids = set(self._spaces)
+        if snap_pids != live_pids:
+            from ..core.errors import ReplayDivergence
+            raise ReplayDivergence(
+                f"address spaces diverged: snapshot pids {sorted(snap_pids)}"
+                f" vs live {sorted(live_pids)}")
+        for pid, table in state["spaces"].items():
+            sp = self._spaces[pid]
+            sp.table.clear()
+            sp.table.update(table)
+        self._kernel.table.clear()
+        self._kernel.table.update(state["kernel_table"])
+        for shmid, seg_state in state["segments"].items():
+            seg = self._segments.get(shmid)
+            if seg is None:
+                from ..core.errors import ReplayDivergence
+                raise ReplayDivergence(f"shared segment {shmid} missing")
+            seg.pages[:] = seg_state["pages"]
+            seg.nattach = seg_state["nattach"]
+        self._key_to_shmid.clear()
+        self._key_to_shmid.update(state["key_to_shmid"])
+        self._next_shmid = state["next_shmid"]
+        self._file_pages.clear()
+        self._file_pages.update(
+            {tuple(k): v for k, v in state["file_pages"]})
+        self.phys.load_state(state["phys"])
+        self.minor_faults = state["minor_faults"]
+        self.major_faults = state["major_faults"]

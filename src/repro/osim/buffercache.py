@@ -94,6 +94,34 @@ class BufferCache:
         """Kernel address of the slot's buffer header."""
         return kmem.buf_hdr_addr(slot)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot; ``_map`` items carry the LRU order."""
+        return {
+            "map": list(self._map.items()),
+            "dirty": sorted(self._dirty),
+            "free": list(self._free),
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._map.clear()
+        self._slot_of.clear()
+        for key, slot in state["map"]:
+            key = tuple(key)
+            self._map[key] = slot
+            self._slot_of[slot] = key
+        self._dirty.clear()
+        self._dirty.update(tuple(k) for k in state["dirty"])
+        self._free[:] = state["free"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+        self.dirty_evictions = state["dirty_evictions"]
+
     @property
     def occupancy(self) -> int:
         return len(self._map)

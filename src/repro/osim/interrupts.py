@@ -57,6 +57,20 @@ class InterruptController:
         #: interrupts without waiting for a memory event
         self.post_hook: Optional[Callable[[int], None]] = None
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Routing cursor + counters + source->area map (pending interrupt
+        queues are rebuilt by replay and verified via CpuState)."""
+        return {"rr": self._rr, "posted": self.posted,
+                "areas": dict(self._areas)}
+
+    def load_state(self, state: dict) -> None:
+        self._rr = state["rr"]
+        self.posted = state["posted"]
+        self._areas.clear()
+        self._areas.update(state["areas"])
+
     # -- posting -------------------------------------------------------------
 
     def post(self, intr: Interrupt, now: int, cpu: int = -1) -> int:

@@ -46,6 +46,25 @@ class ProcessScheduler:
     def free_cpus(self) -> List[int]:
         return [c for c, pid in enumerate(self.on_cpu) if pid < 0]
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Plain-data snapshot (ready queue as pids, FIFO order)."""
+        return {"on_cpu": list(self.on_cpu),
+                "ready": [p.pid for p in self.ready],
+                "dispatch_count": self.dispatch_count,
+                "preemptions": self.preemptions,
+                "affinity_hits": self.affinity_hits}
+
+    def load_state(self, state: dict,
+                   procs: Optional[Dict[int, SimProcess]] = None) -> None:
+        self.on_cpu[:] = state["on_cpu"]
+        if procs is not None:
+            self.ready = deque(procs[pid] for pid in state["ready"])
+        self.dispatch_count = state["dispatch_count"]
+        self.preemptions = state["preemptions"]
+        self.affinity_hits = state["affinity_hits"]
+
     def ready_count(self) -> int:
         return len(self.ready)
 

@@ -271,6 +271,30 @@ class OSServer:
         self._registry: Dict[str, Tuple[int, Callable]] = {}
         self._register_builtin()
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Verification snapshot of kernel bookkeeping that replay rebuilds:
+        thread-pool shape, per-process fd tables, readahead counter."""
+        return {
+            "next_tid": self._next_tid,
+            "free_threads": sorted(t.tid for t in self._free_threads),
+            "readahead": self.readahead,
+            "fdtables": {pid: {fd: (e.kind, e.ino, e.sid, e.offset, e.path)
+                               for fd, e in table.items()}
+                         for pid, table in self._fdtables.items()},
+            "bufcache": self.bufcache.state_dict(),
+            "net": self.net.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install the plain-data pieces (buffer cache, TCP counters,
+        readahead); thread pairing and fd tables are live state verified by
+        the checkpoint manager."""
+        self.readahead = state["readahead"]
+        self.bufcache.load_state(state["bufcache"])
+        self.net.load_state(state["net"])
+
     # -- registry ----------------------------------------------------------
 
     def register(self, name: str, category: int, handler: Callable) -> None:

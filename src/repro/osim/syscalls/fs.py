@@ -15,6 +15,8 @@ server.
 
 from __future__ import annotations
 
+import zlib
+
 from ...core import events as ev
 from ...core.frontend import WaitToken
 from ...devices.disk import DiskRequest
@@ -35,13 +37,18 @@ O_SYNC = 0x400
 
 
 def _namei(sys: Sys, path: str):
-    """Path walk: touch one directory line per component."""
+    """Path walk: touch one directory line per component.
+
+    Dentry slots are placed by crc32, not ``hash()``: string hashing is
+    salted per interpreter, and the touched addresses must be identical
+    across processes for checkpoint replay to reproduce the run.
+    """
     k = sys.k
     comps = [c for c in path.split("/") if c]
     for i, _c in enumerate(comps):
         k.compute(NAMEI_PER_COMPONENT)
-        yield from k.load(kmem.FILE_TABLE + 64 * (hash(path[: i + 1])
-                                                  % 4096))
+        slot = zlib.crc32(path[: i + 1].encode()) % 4096
+        yield from k.load(kmem.FILE_TABLE + 64 * slot)
     return sys.fs.lookup(path)
 
 

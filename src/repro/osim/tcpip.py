@@ -102,6 +102,38 @@ class TcpIpStack:
         self.faults = None
         self.retransmits = 0
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Verification snapshot: connection/socket topology as plain data
+        (waiter tokens and callbacks are rebuilt by replay) plus the
+        counters a restore installs."""
+        return {
+            "next_sid": self._next_sid,
+            "next_conn": self._next_conn,
+            "conns_established": self.conns_established,
+            "conns_closed": self.conns_closed,
+            "retransmits": self.retransmits,
+            "listeners": dict(self._listeners),
+            "sockets": {s.sid: (s.state, s.port, list(s.accept_q),
+                                s.conn.conn_id if s.conn else None,
+                                s.side, s.owner_pid, s.refs)
+                        for s in self._sockets.values()},
+            "conns": {c.conn_id: (c.state, [len(q) for q in c.rx],
+                                  list(c.fin_seen), list(c.sids), c.remote,
+                                  c.bytes_in, c.bytes_out)
+                      for c in self._conns.values()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install the counters; topology is live-rebuilt and only verified
+        against the snapshot by the checkpoint manager."""
+        self._next_sid = state["next_sid"]
+        self._next_conn = state["next_conn"]
+        self.conns_established = state["conns_established"]
+        self.conns_closed = state["conns_closed"]
+        self.retransmits = state["retransmits"]
+
     # -- socket API (called by syscall handlers) ----------------------------
 
     def socket(self, pid: int) -> int:

@@ -432,3 +432,91 @@ class TestFaultyRunDeterminism:
         b = once()
         assert a == b
         assert a[2]["total_fired"] > 0
+
+
+# ---------------------------------------------------------------------------
+# checkpoint support: injector state round-trips exactly
+# ---------------------------------------------------------------------------
+
+class TestInjectorRoundTrip:
+    PLAN = FaultPlan(rules=(
+        FaultRule(site="disk:latency", prob=0.5, extra_cycles=100),
+        FaultRule(site="mem:degraded", prob=0.2, extra_cycles=10,
+                  max_fires=3),
+    ), seed=42)
+
+    def _drive(self, inj, n=200):
+        outcomes = []
+        for i in range(n):
+            site = "disk:latency" if i % 2 else "mem:degraded"
+            rule = inj.check(site)
+            outcomes.append(None if rule is None else rule.site)
+        return outcomes
+
+    def test_state_dict_load_state_exact_inverse(self):
+        import pickle
+        inj = FaultInjector(self.PLAN)
+        self._drive(inj)
+        before = inj.state_dict()
+        # snapshot survives serialisation (it ends up inside a pickle file)
+        frozen = pickle.loads(pickle.dumps(before))
+        self._drive(inj, 50)          # move the live injector past the snap
+        inj.load_state(frozen)
+        assert inj.state_dict() == before
+        assert inj.stats.draws == before["stats"]["draws"]
+        assert dict(inj.stats.fired) == before["stats"]["fired"]
+
+    def test_restored_rng_continues_identically(self):
+        a = FaultInjector(self.PLAN)
+        self._drive(a)
+        snap = a.state_dict()
+        tail_a = self._drive(a, 100)
+
+        b = FaultInjector(self.PLAN)   # fresh injector, no history
+        b.load_state(snap)
+        tail_b = self._drive(b, 100)
+        assert tail_b == tail_a
+        assert b.state_dict() == a.state_dict()
+
+    def test_shape_mismatch_rejected(self):
+        from repro.core.errors import ReplayDivergence
+        inj = FaultInjector(self.PLAN)
+        snap = inj.state_dict()
+        other = FaultInjector(FaultPlan(rules=(
+            FaultRule(site="disk:latency", prob=0.5),), seed=42))
+        with pytest.raises(ReplayDivergence, match="shape"):
+            other.load_state(snap)
+
+
+# ---------------------------------------------------------------------------
+# barrier-deadlock diagnostics
+# ---------------------------------------------------------------------------
+
+class TestBarrierDeadlockReport:
+    def test_barrier_report_structure(self):
+        _reset_pids()
+        eng = Engine(complex_backend(num_cpus=2))
+
+        def joiner(proc):
+            yield from proc.barrier(3, count=3)   # count=3, only 2 arrive
+            yield from proc.exit(0)
+
+        def deserter(proc):
+            proc.compute(1_000)
+            yield from proc.exit(0)               # never reaches the barrier
+
+        p0 = eng.spawn("join0", joiner)
+        p1 = eng.spawn("join1", joiner)
+        eng.spawn("deserter", deserter)
+        with pytest.raises(DeadlockError) as ei:
+            eng.run()
+        report = ei.value.report
+        assert report is not None
+        assert report["barriers"] == {3: sorted([p0.pid, p1.pid])}
+        states = {p["name"]: p["state"] for p in report["processes"]}
+        assert states["join0"] == "SYNCWAIT"
+        assert states["join1"] == "SYNCWAIT"
+        assert "deserter" not in states          # DONE procs are elided
+        assert "barrier 3" in report["text"]
+        assert f"waiting={sorted([p0.pid, p1.pid])}" in report["text"]
+        assert report["recent_events"]
