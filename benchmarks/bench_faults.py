@@ -42,10 +42,10 @@ def _fingerprint(eng, stats):
     )
 
 
-def run_oltp(plan):
+def run_oltp(plan, **cfg_kw):
     from repro.apps.minidb import MiniDb, TpccDriver, tpcc_catalog
     SimProcess._next_pid[0] = 1
-    eng = Engine(complex_backend(num_cpus=2, faults=plan))
+    eng = Engine(complex_backend(num_cpus=2, faults=plan, **cfg_kw))
     db = MiniDb(eng, tpcc_catalog(1, 0.005), pool_frames=16, seed=3)
     db.setup()
     drv = TpccDriver(db, nagents=4, tx_per_agent=4, seed=3,
@@ -101,6 +101,17 @@ def smoke() -> dict:
         }
         for site, n in fired1.items():
             all_fired[site] = all_fired.get(site, 0) + n
+    # lookahead x faults cross-check: the conservative windows (on by
+    # default) must not move fault draws or outcomes relative to the
+    # strict scheduler
+    la_fp, la_fired = run_oltp(plan, lookahead=True)
+    strict_fp, strict_fired = run_oltp(plan, lookahead=False)
+    report["lookahead_identical"] = (la_fp == strict_fp
+                                     and la_fired == strict_fired)
+    if not report["lookahead_identical"]:
+        report["failures"].append(
+            "oltp: lookahead on/off diverged under the fault plan "
+            f"(fired {la_fired} vs {strict_fired})")
     report["fired_total"] = dict(sorted(all_fired.items()))
     report["distinct_sites"] = len(all_fired)
     if len(all_fired) < 3:

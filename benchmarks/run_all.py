@@ -3,7 +3,9 @@
 
 Each ``bench_*.py`` runs in its own pytest subprocess (pytest-benchmark
 prints its tables; benches that write ``BENCH_*.json`` refresh the copies
-at the repo root). Usage::
+at the repo root). A unified ``BENCH_summary.json`` is written at the repo
+root after the run: per-benchmark pass/fail, wall time, and the headline
+numbers (events/sec, speedup) pulled from each artifact. Usage::
 
     python benchmarks/run_all.py              # full runs
     python benchmarks/run_all.py --quick      # COMPASS_BENCH_QUICK=1
@@ -70,28 +72,42 @@ def main(argv=None) -> int:
         status = "ok" if rc == 0 else f"FAILED (rc={rc})"
         print(f"  {name:40s} {status:14s} {secs:7.1f}s")
         failed += rc != 0
-    artifacts = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    artifacts = sorted(p for p in REPO_ROOT.glob("BENCH_*.json")
+                       if p.name != "BENCH_summary.json")
+    artifact_data = {}
     if artifacts:
         print("artifacts:")
         for a in artifacts:
             try:
-                keys = ", ".join(sorted(json.loads(a.read_text()))[:6])
+                artifact_data[a.name] = json.loads(a.read_text())
+                keys = ", ".join(sorted(artifact_data[a.name])[:6])
             except (OSError, ValueError):
                 keys = "<unreadable>"
             print(f"  {a.name}: {keys}")
-        speedups = []
-        for a in artifacts:
-            try:
-                data = json.loads(a.read_text())
-            except (OSError, ValueError):
-                continue
-            sp = data.get("speedup")
-            if isinstance(sp, (int, float)):
-                speedups.append((a.name, sp, data.get("workload", "")))
+        speedups = [(name, data["speedup"], data.get("workload", ""))
+                    for name, data in artifact_data.items()
+                    if isinstance(data.get("speedup"), (int, float))]
         if speedups:
             print("speedups:")
             for name, sp, workload in speedups:
                 print(f"  {name:28s} {sp:6.2f}x  {workload}")
+
+    summary = {
+        "quick": args.quick,
+        "patterns": args.patterns,
+        "benches": [{"name": name, "ok": rc == 0, "seconds": round(secs, 2)}
+                    for name, rc, secs in results],
+        "artifacts": {
+            name: {k: data[k] for k in
+                   ("workload", "speedup", "events", "end_cycle",
+                    "events_per_sec_on", "events_per_sec_off")
+                   if k in data}
+            for name, data in artifact_data.items()
+        },
+    }
+    out = REPO_ROOT / "BENCH_summary.json"
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {out.name}")
     return 1 if failed else 0
 
 

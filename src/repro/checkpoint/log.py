@@ -30,10 +30,13 @@ class _MemoryWrapper:
 
     def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
                    sizes: list, pends: list, i: int, n: int, t: int,
-                   limit: int, horizon: int, clock=None):
+                   limit: int, horizon: int, ext: int = 0, clock=None):
         # mirror of MemorySystem.access_run's tapped branch: identical
         # issue-time arithmetic and cut conditions, one access() per
-        # reference so the wrapper sees the full stream
+        # reference so the wrapper sees the full stream. The lookahead
+        # extension (``ext``) is deliberately ignored, exactly like the
+        # tapped branch: record and replay must both observe the strict
+        # interleaving so the reply log lines up deterministically.
         access = self.access
         consumed = 0
         added = 0
@@ -45,15 +48,15 @@ class _MemoryWrapper:
                                 t, atomic=(k == 2))
             consumed += 1
             if major is not None:
-                return consumed, i, t, added, major
+                return consumed, i, t, added, major, 0
             added += lat
             t += lat
             i += 1
             if i >= n or consumed >= limit:
-                return consumed, i, t, added, None
+                return consumed, i, t, added, None, 0
             nt = t + pends[i]
             if nt >= horizon:
-                return consumed, i, t, added, None
+                return consumed, i, t, added, None, 0
             t = nt
 
 

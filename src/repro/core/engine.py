@@ -96,12 +96,29 @@ class Engine:
         #: ISA frontends run through the basic-block translation cache
         self._frontend_translate = bool(cfg.translate)
         #: batched-pipeline observability: batches consumed, references
-        #: consumed, and why each consume loop stopped
+        #: consumed, and why each consume loop stopped; ``la_windows`` /
+        #: ``la_refs`` count granted lookahead windows and references
+        #: consumed beyond the strict rival horizon
         self.batch_stats: Dict[str, int] = {
             "batches": 0, "refs": 0, "completed": 0,
             "cut_horizon": 0, "cut_budget": 0, "cut_intr": 0,
-            "cut_fault": 0,
+            "cut_fault": 0, "la_windows": 0, "la_refs": 0,
         }
+        #: conservative lookahead windows (timing-invisible by
+        #: construction; see DESIGN.md): only meaningful with the batched
+        #: pipeline + L1 filter on, since invisibility is exactly the
+        #: fast-path full-hit predicate
+        self._lookahead = (bool(getattr(cfg, "lookahead", True))
+                           and self._frontend_batching
+                           and self.memsys._fast_on)
+        _la_cycles = getattr(cfg, "lookahead_cycles", 0)
+        if not _la_cycles:
+            # auto: the protocol's cheapest cross-CPU interaction sets the
+            # per-configuration scale; the multiplier only bounds how much
+            # rival-qualification work one window may spend (safety comes
+            # from per-reference invisibility, not from the bound itself)
+            _la_cycles = max(64 * self.memsys.min_remote_latency(), 4096)
+        self._lookahead_cycles = _la_cycles
         self._max_cycles = cfg.max_cycles
         self._timer_started = False
         #: count of not-yet-exited processes (kept in step with spawns/exits)
@@ -297,13 +314,31 @@ class Engine:
                 horizon = self.comm.batch_horizon(cand)
                 if horizon is None:
                     horizon = 1 << 62
-                if t_task is not None and t_task < horizon:
-                    horizon = t_task
-                if until is not None and until + 1 < horizon:
-                    horizon = until + 1
+                # lookahead: extend past the rival cut (never past tasks or
+                # run bounds — tasks can mutate anything) up to the window
+                # cap, then shrink to the rivals' qualified-invisible bound
+                ext = 0
+                if (self._lookahead and horizon < (1 << 61)
+                        and self.memsys.__class__ is MemorySystem):
+                    ext = horizon + self._lookahead_cycles
+                if t_task is not None:
+                    if t_task < horizon:
+                        horizon = t_task
+                    if t_task < ext:
+                        ext = t_task
+                if until is not None:
+                    if until + 1 < horizon:
+                        horizon = until + 1
+                    if until + 1 < ext:
+                        ext = until + 1
                 if self._max_cycles + 1 < horizon:
                     horizon = self._max_cycles + 1
-                n = self._handle_batch(cand, event, horizon, budget)
+                if self._max_cycles + 1 < ext:
+                    ext = self._max_cycles + 1
+                if ext > horizon:
+                    ext = self.comm.lookahead_horizon(
+                        cand, horizon, ext, self._invisible_bound)
+                n = self._handle_batch(cand, event, horizon, ext, budget)
                 self.events_processed += n
                 budget -= n
                 continue
@@ -438,18 +473,22 @@ class Engine:
     # -- the batched hot loop ----------------------------------------------
 
     def _handle_batch(self, proc: SimProcess, batch: ev.EventBatch,
-                      horizon: int, budget: int) -> int:
+                      horizon: int, ext: int, budget: int) -> int:
         """Consume references from ``batch`` in one tight loop.
 
         Bit-identity contract: each reference is serviced at exactly the
         cycle and in exactly the global order the per-event path would have
         used. The run loop guarantees the reference at ``cursor`` is
         globally first; later references are consumed only while their issue
-        time stays below ``horizon``. Interrupt/signal/preemption flags only
-        change when backend tasks run — never inside this loop — so they are
-        evaluated once on entry: when delivery is due, exactly one reference
-        is consumed (the per-event path polls after each reference too).
-        Returns the number of references consumed.
+        time stays below ``horizon`` — or below ``ext`` when a lookahead
+        window was granted, in which case references past ``horizon`` must
+        resolve invisibly (L1 fast-path full hits commute with everything
+        the qualified rivals can do before ``ext``; see DESIGN.md).
+        Interrupt/signal/preemption flags only change when backend tasks
+        run — never inside this loop — so they are evaluated once on entry:
+        when delivery is due, exactly one reference is consumed (the
+        per-event path polls after each reference too). Returns the number
+        of references consumed.
         """
         cpu = proc.cpu
         cpu_state = self.comm.cpus[cpu]
@@ -464,9 +503,9 @@ class Engine:
         if deliver:
             limit = 1
         pends = batch.pendings
-        consumed, i, t, added, fault = self.memsys.access_run(
+        consumed, i, t, added, fault, ext_refs = self.memsys.access_run(
             proc.pid, cpu, batch.kinds, batch.addrs, batch.sizes, pends,
-            batch.cursor, batch.n, batch.time, limit, horizon,
+            batch.cursor, batch.n, batch.time, limit, horizon, ext,
             clock=self.gsched)
         n = batch.n
         batch.cursor = i
@@ -475,6 +514,9 @@ class Engine:
         bs = self.batch_stats
         bs["batches"] += 1
         bs["refs"] += consumed
+        if ext > horizon:
+            bs["la_windows"] += 1
+            bs["la_refs"] += ext_refs
         self._recent_events.append((self.gsched.now, proc.pid, 9))
         if fault is not None:
             # the faulting reference re-runs via the ("retry", batch) meta;
@@ -511,6 +553,39 @@ class Engine:
             batch.time = t + pends[i]
             proc.port_event = batch
         return consumed
+
+    def _invisible_bound(self, proc: SimProcess, event, cap: int) -> int:
+        """Earliest cycle at which rival ``proc`` could next act
+        *non-invisibly*, given its parked port event.
+
+        Used by the lookahead scan: another frontend may safely consume
+        invisible references up to this cycle without being reordered
+        against anything ``proc`` can observe. When ``proc`` has a pending
+        interrupt/signal/preemption, servicing its event pushes handler
+        frames whose references cannot be bounded here, so no extension
+        past its event time is granted. A parked batch is qualified
+        reference-by-reference (read-only) up to ``cap``; a single memory
+        event is qualified with one probe — after it, the rival's next
+        event can be no earlier than its completion. Every other event
+        kind (locks, syscalls, exit…) is non-invisible at its own time.
+        """
+        cpu_state = self.comm.cpus[proc.cpu]
+        if ((cpu_state.irq_pending and cpu_state.irq_enabled
+                and proc.intr_enabled and proc.mode != "interrupt")
+                or (not proc.kernel_mode
+                    and self.signals.has_pending(proc.pid))
+                or proc.preempt_pending):
+            return event.time
+        kind = event.kind
+        if kind == 9:
+            return self.memsys.invisible_until(event.pid, proc.cpu, event,
+                                               cap)
+        if kind <= 2:
+            lat = self.memsys.ref_invisible_latency(
+                event.pid, proc.cpu, kind, event.addr, event.size)
+            if lat >= 0:
+                return event.time + lat
+        return event.time
 
     # -- memory faults -----------------------------------------------------
 

@@ -14,6 +14,22 @@ backend over a pipe:
 * events carry the pending-cycle delta accumulated since the previous event,
   so the backend can stamp exact execution times in order.
 
+Worker-side pre-timing (leases)
+-------------------------------
+With ``SimConfig.lookahead`` on, a worker that has streamed
+``SimConfig.worker_lease`` consecutive full fire-and-forget batches sends a
+lease request (``"lr"``) and blocks. When the simulation reaches that stream
+position the proxy either denies (``"ld"``) or grants (``"lg"``) a window
+``[t0, T)`` together with a read-only snapshot of the worker's own L1 state
+and page table. The worker then times its next references *itself* against
+a private mirror — but only references that satisfy the L1 fast-path
+full-hit predicate, which touch nothing outside the issuer's private state
+(see DESIGN.md, "Conservative lookahead windows") — and reports the result
+as one pre-timed delta (``"pr"``) instead of dozens of event messages.
+``T`` is the earliest cycle at which any rival frontend or backend task
+could act at all, so the strict engine would have processed those
+references back-to-back anyway: the reported timing is bit-identical.
+
 Conservative ordering
 ---------------------
 The backend may only process the globally-earliest event. A worker whose
@@ -46,10 +62,12 @@ from ..core.stats import StatsRegistry
 from ..isa.assembler import assemble
 from ..isa.interpreter import Interpreter, Machine
 from ..isa.memory import DataMemory
+from ..mem.hierarchy import KERNEL_BASE, MemorySystem
 
 #: sentinel yielded by the proxy while its worker computes ahead
 COMPUTING = object()
-#: worker-side batch size for fire-and-forget events
+#: default worker-side batch size for fire-and-forget events (the live
+#: value comes from ``SimConfig.worker_batch``)
 BATCH = 64
 
 
@@ -77,10 +95,105 @@ def _decode_reply(msg) -> object:
     return msg[1]
 
 
+def _drain_lease(conn: Connection, gen, m, grant: tuple):
+    """Consume fire-and-forget events worker-side under a granted lease.
+
+    ``grant`` carries the window ``[t0, T)`` plus a snapshot of the
+    worker's own L1 line states, per-set LRU orders and page table. Each
+    reference is qualified against the mirror with exactly the backend's
+    L1 fast-path predicate (translate, every line present, writes need
+    state >= EXCLUSIVE) and, when it qualifies, timed with exactly the
+    fast-path latency and applied to the mirror (LRU move-to-front,
+    EXCLUSIVE->MODIFIED flips). The first reference that would take the
+    slow path — or would issue at or past ``T`` — stops the drain; it is
+    returned *unconsumed* (its pending delta still in ``m.pending``) for
+    normal streaming. The drain result goes back as one ``"pr"`` message.
+
+    On program end (StopIteration) the ``"pr"`` is sent before the
+    exception propagates, so the exit message follows it in stream order.
+    """
+    (_, t0, T, states, sets, utable, pshift, pmask, lshift, smask,
+     nsets, l1_lat) = grant
+    sget = states.get
+    uget = utable.get
+    t = t0
+    #: issue time of the last consumed reference — the strict engine's
+    #: global clock lands there (advance_to at each event's issue time)
+    last_issue = t0
+    n_mem = n_adv = n_lines = 0
+    touched: dict = {}
+    flips: list = []
+    try:
+        evt = gen.send(0)
+        while True:
+            k = evt.kind
+            if k > 3:           # control event: stream it normally
+                break
+            delta = m.pending
+            nt = t + delta
+            if nt >= T:
+                break
+            if k == 3:          # ADVANCE: a poll point, zero latency
+                m.pending = 0
+                t = nt
+                last_issue = nt
+                n_adv += 1
+                evt = gen.send(0)
+                continue
+            vaddr = evt.addr
+            if vaddr >= KERNEL_BASE:
+                break
+            ppn = uget(vaddr >> pshift)
+            if ppn is None:
+                break
+            paddr = (ppn << pshift) | (vaddr & pmask)
+            line = paddr >> lshift
+            size = evt.size
+            last = (paddr + (size or 1) - 1) >> lshift
+            ok = True
+            sts = []
+            l = line
+            while l <= last:
+                st = sget(l)
+                if st is None or (k != 0 and st < 2):
+                    ok = False
+                    break
+                sts.append(st)
+                l += 1
+            if not ok:
+                break
+            nlines = last - line + 1
+            for j in range(nlines):
+                l = line + j
+                idx = l & smask if smask >= 0 else l % nsets
+                s = sets[idx]
+                if s[0] != l:
+                    s.remove(l)
+                    s.insert(0, l)
+                touched[idx] = s
+                if k != 0 and sts[j] == 2:   # EXCLUSIVE -> MODIFIED
+                    states[l] = 3
+                    flips.append(l)
+            m.pending = 0
+            t = nt + l1_lat * nlines + (4 if k == 2 else 0)
+            last_issue = nt
+            n_mem += 1
+            n_lines += nlines
+            evt = gen.send(0)
+    except StopIteration:
+        conn.send(("pr", n_mem, n_adv, n_lines, t - t0, last_issue,
+                   touched, flips))
+        raise
+    conn.send(("pr", n_mem, n_adv, n_lines, t - t0, last_issue,
+               touched, flips))
+    return evt
+
+
 def _worker_main(conn: Connection, spec_name: str, program_text: str,
                  segments: list, regs: dict,
                  cpu_affinity: Optional[frozenset] = None,
-                 translate: bool = True) -> None:
+                 translate: bool = True, batch_size: int = BATCH,
+                 lease_every: int = 0) -> None:
     """Child-process body: interpret and stream events."""
     if cpu_affinity:
         try:
@@ -104,16 +217,29 @@ def _worker_main(conn: Connection, spec_name: str, program_text: str,
             m.regs[r] = v
         gen = Interpreter(prog, m).run(translate=translate)
         reply = None
+        full_runs = 0
         evt = next(gen)
         while True:
             delta = m.pending
             m.pending = 0
             if evt.kind <= ev.EvKind.ADVANCE:   # memory / advance
                 batch.append((evt.kind, evt.addr, evt.size, delta))
-                if len(batch) >= BATCH:
-                    flush()
                 reply = 0
+                if len(batch) >= batch_size:
+                    flush()
+                    full_runs += 1
+                    if lease_every and full_runs >= lease_every:
+                        # steady fire-and-forget state: ask to time the
+                        # next stretch ourselves (deterministic stream
+                        # position — right after a full batch flush)
+                        full_runs = 0
+                        conn.send(("lr",))
+                        grant = conn.recv()
+                        if grant[0] == "lg":
+                            evt = _drain_lease(conn, gen, m, grant)
+                            continue
             else:
+                full_runs = 0
                 flush()
                 conn.send(("c", evt.kind, evt.addr, evt.size, evt.arg, delta))
                 reply = _decode_reply(conn.recv())
@@ -191,6 +317,25 @@ class ParallelEngine(Engine):
         self._frontend_batching = False
         self._workers: Dict[int, _Worker] = {}
         self._ctx = mp.get_context("fork")
+        # -- worker-side pre-timing (lookahead layer 2) -------------------
+        self._worker_batch = max(1, getattr(cfg, "worker_batch", BATCH))
+        self._lease_on = bool(getattr(cfg, "lookahead", True)
+                              and getattr(cfg, "worker_lease", 0)
+                              and self.memsys._fast_on)
+        #: consecutive full fire-and-forget batches before a worker asks
+        #: for a lease (0 = workers never ask)
+        self._worker_lease = (getattr(cfg, "worker_lease", 0)
+                              if self._lease_on else 0)
+        #: a granted window shorter than this is not worth the snapshot
+        self.lease_min_window = 64
+        #: pre-timed events to drain from the run loop's event budget
+        self._pretimed = 0
+        #: run-bound caps for lease windows, stashed by run()
+        self._run_until = self._max_cycles + 1
+        self._run_budget_capped = False
+        self.batch_stats.setdefault("leases", 0)
+        self.batch_stats.setdefault("lease_refs", 0)
+        self.batch_stats.setdefault("lease_denied", 0)
         # -- worker supervision knobs ------------------------------------
         #: restarts allowed per worker before giving up with a HostError
         self.max_worker_restarts = 2
@@ -231,7 +376,8 @@ class ParallelEngine(Engine):
         p = self._ctx.Process(
             target=_worker_main,
             args=(child, w.spec.name, w.spec.program_text, w.spec.segments,
-                  w.spec.regs, self._affinity, self._frontend_translate),
+                  w.spec.regs, self._affinity, self._frontend_translate,
+                  self._worker_batch, self._worker_lease),
             daemon=True)
         p.start()
         child.close()
@@ -261,6 +407,31 @@ class ParallelEngine(Engine):
                 kind, addr, size, delta = msg[1], msg[2], msg[3], msg[4]
                 clock.pending += delta
                 yield ev.Event(kind, addr, size)
+            elif tag == "lr":
+                # lease request: everything the worker streamed before it
+                # has been consumed and timed (stream order), so the
+                # simulation is exactly at the worker's position — decide
+                # and answer without yielding. Recorded like a control
+                # reply so crash replay re-answers it identically.
+                enc = self._lease_decision(w)
+                if w.restartable:
+                    w.control_replies.append(enc)
+                    if (len(w.control_replies) > self.replay_log_limit
+                            and w.streamed >= w.skip):
+                        w.restartable = False
+                        w.control_replies.clear()
+                        w.reply_cursor = 0
+                if w.streamed >= w.skip:
+                    try:
+                        w.conn.send(enc)
+                    except (BrokenPipeError, OSError):
+                        self._worker_failed(
+                            w, "pipe closed while answering a lease request")
+            elif tag == "pr":
+                # pre-timed drain result: fold it into the proxy's clock
+                # and the backend caches, no yield (the engine never saw
+                # these references as events)
+                self._apply_pretimed(w, msg)
             else:   # control
                 kind, addr, size, arg, delta = (msg[1], msg[2], msg[3],
                                                 msg[4], msg[5])
@@ -384,9 +555,11 @@ class ParallelEngine(Engine):
         if w.streamed < w.skip:
             # replaying a restarted worker's deterministic stream: this
             # message was consumed before the crash — discard it, but
-            # answer re-sent controls from the recorded reply log
+            # answer re-sent controls (and lease requests — the recorded
+            # grant carries the original snapshot, so the re-run drain is
+            # deterministic) from the recorded reply log
             w.streamed += 1
-            if msg[0] == "c":
+            if msg[0] in ("c", "lr"):
                 if w.reply_cursor < len(w.control_replies):
                     enc = w.control_replies[w.reply_cursor]
                     w.reply_cursor += 1
@@ -402,6 +575,110 @@ class ParallelEngine(Engine):
         w.streamed += 1
         w.queue.append(msg)
         return True
+
+    # -- worker-side pre-timing ----------------------------------------------
+
+    def _lease_decision(self, w: _Worker) -> tuple:
+        """Grant or deny a worker's lease request (see module docstring).
+
+        A grant is safe only when (a) every reference the worker will
+        drain can be timed from its own private L1 state — enforced
+        reference-by-reference worker-side via the fast-path predicate —
+        and (b) nothing else can act before the window's end ``T``: no
+        backend task, no rival frontend event (with the pid tie-break),
+        and no pending delivery for this frontend. Anything that needs
+        the strict per-reference stream (checkpoint recording/replay,
+        memory taps, bounded max_events stepping) denies outright.
+        """
+        p = w.proc
+        ms = self.memsys
+        if (not self._lease_on or self._ckpt is not None
+                or ms.__class__ is not MemorySystem
+                or "access" in ms.__dict__ or not ms._fast_on
+                or self._run_budget_capped
+                or p is None or p.cpu < 0 or p.kernel_mode
+                or p.pending_batches):
+            self.batch_stats["lease_denied"] += 1
+            return ("ld",)
+        cpu_state = self.comm.cpus[p.cpu]
+        if ((cpu_state.irq_pending and cpu_state.irq_enabled
+                and p.intr_enabled and p.mode != "interrupt")
+                or (not p.kernel_mode and self.signals.has_pending(p.pid))
+                or p.preempt_pending):
+            self.batch_stats["lease_denied"] += 1
+            return ("ld",)
+        t0 = p.vtime + p.clock.pending
+        T = self._run_until
+        t_task = self.gsched.next_time()
+        if t_task is not None and t_task < T:
+            T = t_task
+        pid = p.pid
+        for q in self.comm.running():
+            if q is p:
+                continue
+            e = q.port_event
+            # a computing rival's next event can be no earlier than its
+            # published virtual time plus accumulated pending cycles
+            b = e.time if e is not None else q.vtime + q.clock.pending
+            if pid < q.pid:
+                b += 1
+            if b < T:
+                T = b
+        if T - t0 < self.lease_min_window:
+            self.batch_stats["lease_denied"] += 1
+            return ("ld",)
+        cpu = p.cpu
+        sp = ms._spaces.get(p.pid)
+        return ("lg", t0, T,
+                dict(ms._l1_states[cpu]),
+                [list(s) for s in ms._l1_sets[cpu]],
+                dict(sp.table) if sp is not None else {},
+                ms._page_shift, ms._page_mask, ms._line_shift,
+                ms._l1_set_mask, ms._l1_nsets, ms._l1_latency)
+
+    def _apply_pretimed(self, w: _Worker, msg: tuple) -> None:
+        """Fold a worker's ``"pr"`` drain result into the backend.
+
+        The drained references were all L1 fast-path full hits, so their
+        only backend-visible effects are the issuer's own LRU orders,
+        EXCLUSIVE->MODIFIED flips (mirrored into the inclusive L2) and
+        the commutative hit/access counters — exactly what the strict
+        engine would have produced processing them one event at a time.
+        """
+        _, n_mem, n_adv, n_lines, advance, last_issue, touched, flips = msg
+        p = w.proc
+        ms = self.memsys
+        cpu = p.cpu
+        sets = ms._l1_sets[cpu]
+        for idx, lst in touched.items():
+            sets[idx][:] = lst
+        states = ms._l1_states[cpu]
+        l2s = ms._l2_states[cpu] if ms._l2_states is not None else None
+        for line in flips:
+            states[line] = 3
+            if l2s is not None and line in l2s:
+                l2s[line] = 3
+        ms.l1s[cpu].hits += n_lines
+        ms.accesses += n_mem
+        ms.fast_hits += n_mem
+        n = n_mem + n_adv
+        if n:
+            # materialise the drained span into virtual time directly (not
+            # clock.pending): the program may exit before another event, and
+            # pending cycles are dropped at exit exactly like the strict
+            # path drops trailing compute — but these cycles were *timed*
+            # references. The global clock lands on the last issue time, as
+            # advance_to would have per event; both are below the window
+            # end, hence below every rival event and backend task.
+            p.vtime += p.clock.pending + advance
+            p.clock.pending = 0
+            self.gsched.advance_to(last_issue)
+            self._last_progress = last_issue
+        self.events_processed += n
+        self._pretimed += n
+        bs = self.batch_stats
+        bs["leases"] += 1
+        bs["lease_refs"] += n_mem
 
     # -- supervision ---------------------------------------------------------
 
@@ -518,11 +795,22 @@ class ParallelEngine(Engine):
             ck.on_run_begin(self, until, max_events)
         t0 = _wall.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
+        # lease-window caps for this run: windows must not reach past the
+        # run bound, and bounded-event stepping needs the strict stream
+        self._run_until = self._max_cycles + 1
+        if until is not None and until + 1 < self._run_until:
+            self._run_until = until + 1
+        self._run_budget_capped = max_events is not None
         since_harvest = 0
         wd_rounds = 0
         wd_time = -1
         wd_limit = self._watchdog_rounds
         while budget > 0:
+            if self._pretimed:
+                # events timed worker-side under a lease still count
+                # against the caller's event budget
+                budget -= self._pretimed
+                self._pretimed = 0
             if self._live <= 0:
                 break
             if ck is not None and ck.on_loop_top(self):

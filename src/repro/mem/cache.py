@@ -22,6 +22,13 @@ class LineState(IntEnum):
     MODIFIED = 3
 
 
+# hot-path int constants: enum member access costs a descriptor lookup per
+# use, which shows up in the fill/flush paths (values are interchangeable
+# with LineState members — it is an IntEnum)
+_SHARED = 1
+_MODIFIED = 3
+
+
 class Cache:
     """One cache: maps line address → state, LRU within each set."""
 
@@ -97,7 +104,7 @@ class Cache:
             vline = s.pop()
             vstate = self._states.pop(vline)
             self.evictions += 1
-            if vstate == LineState.MODIFIED:
+            if vstate == _MODIFIED:
                 self.writebacks += 1
             victim = (vline, vstate)
         s.insert(0, line)
@@ -126,9 +133,9 @@ class Cache:
 
     def flush_dirty(self) -> List[int]:
         """Return (and clean) every MODIFIED line — used by msync models."""
-        dirty = [l for l, s in self._states.items() if s == LineState.MODIFIED]
+        dirty = [l for l, s in self._states.items() if s == _MODIFIED]
         for l in dirty:
-            self._states[l] = LineState.SHARED
+            self._states[l] = _SHARED
         self.writebacks += len(dirty)
         return dirty
 

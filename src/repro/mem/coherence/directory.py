@@ -52,6 +52,11 @@ class DirectoryProtocol(CoherenceProtocol):
     def _home(self, line: int) -> int:
         return self.home_of(self.line_paddr(line))
 
+    def min_remote_latency(self) -> int:
+        """Cheapest cross-CPU effect: a one-hop invalidation through a
+        directory controller (request hop + directory occupancy)."""
+        return max(1, self.network.hop_latency + self.dirctl[0].service)
+
     # -- checkpoint/restore -------------------------------------------------
 
     def state_dict(self):

@@ -28,6 +28,11 @@ class MesiBusProtocol(CoherenceProtocol):
         self.c2c_latency = c2c_latency
         self.bus = OccupancyResource("bus", bus_latency)
 
+    def min_remote_latency(self) -> int:
+        """Cheapest cross-CPU effect: an address-only bus transaction (an
+        S->M upgrade's invalidation) costs one bus grant."""
+        return max(1, self.bus.service)
+
     # -- checkpoint/restore -------------------------------------------------
 
     def state_dict(self):
@@ -51,7 +56,7 @@ class MesiBusProtocol(CoherenceProtocol):
             st = cache.probe(line)
             if st is None:
                 continue
-            if st == LineState.MODIFIED:
+            if st == 3:   # LineState.MODIFIED — int compare keeps the snoop scan cheap
                 dirty = c
             sharers.append(c)
         return dirty, sharers

@@ -14,9 +14,16 @@ from typing import List, Optional, Tuple
 
 from ..core.config import SimConfig
 from ..core.stats import StatsRegistry
-from .cache import Cache, LineState
+from .cache import Cache
 from .coherence import make_protocol
 from .pagetable import KERNEL_BASE, MajorFault, Vmm
+
+# hot-path int constants: IntEnum member access and comparisons carry enum
+# dispatch overhead, so the access paths below compare against plain ints
+# (LineState is an IntEnum, so stored values interoperate either way)
+_SHARED = 1
+_EXCLUSIVE = 2
+_MODIFIED = 3
 
 
 class MemorySystem:
@@ -192,10 +199,117 @@ class MemorySystem:
         return latency, None
 
     # ------------------------------------------------------------------
+    # conservative lookahead support (see DESIGN.md)
+    # ------------------------------------------------------------------
+
+    def min_remote_latency(self) -> int:
+        """Cheapest cross-CPU interaction of the configured protocol — the
+        per-configuration scale of the engine's lookahead windows."""
+        return self.protocol.min_remote_latency()
+
+    def ref_invisible_latency(self, pid: int, cpu: int, kind: int,
+                              vaddr: int, size: int) -> int:
+        """Latency this single reference would resolve with on the L1 fast
+        path, or -1 when it would decline (miss / upgrade / untranslated).
+
+        Read-only: probes the same state the fast path consults but mutates
+        nothing — used to bound how long a *rival* frontend provably stays
+        invisible (a fast-path hit touches only issuer-private state).
+        """
+        if not self._fast_on:
+            return -1
+        if vaddr >= KERNEL_BASE:
+            ppn = self._kernel_table.get(vaddr >> self._page_shift)
+        else:
+            sp = self._spaces.get(pid)
+            ppn = (sp.table.get(vaddr >> self._page_shift)
+                   if sp is not None else None)
+        if ppn is None:
+            return -1
+        paddr = (ppn << self._page_shift) | (vaddr & self._page_mask)
+        shift = self._line_shift
+        line = paddr >> shift
+        last = (paddr + (size or 1) - 1) >> shift
+        states_get = self._l1_states[cpu].get
+        while line <= last:
+            st = states_get(line)
+            if st is None or (kind != 0 and st < _EXCLUSIVE):
+                return -1
+            line += 1
+        lat = self._l1_latency * (last - (paddr >> shift) + 1)
+        return lat + 4 if kind == 2 else lat
+
+    def invisible_until(self, pid: int, cpu: int, batch, cap: int) -> int:
+        """Earliest cycle at which the frontend owning ``batch`` could next
+        act *non-invisibly*, walking its pending references from the cursor.
+
+        A reference is invisible when it satisfies the L1 fast-path full-hit
+        predicate: it then mutates only issuer-private state (own LRU order,
+        E->M flips of lines no peer holds, commutative counters), so any
+        interleaving of invisible references from different frontends is
+        bit-identical to the strict order. The walk is read-only (no LRU
+        promotion, no counters) and chains the same issue-time arithmetic
+        as :meth:`access_run`. Returns ``cap`` when the whole prefix up to
+        ``cap`` qualifies, else the issue time of the first reference that
+        might take the slow path (or the batch-completion time when the
+        batch ends first — the frontend's next event can be no earlier).
+        """
+        t = batch.time
+        if not self._fast_on or "access" in self.__dict__:
+            return t
+        kbase = KERNEL_BASE
+        ktable_get = self._kernel_table.get
+        sp = self._spaces.get(pid)
+        utable_get = sp.table.get if sp is not None else None
+        pshift = self._page_shift
+        pmask = self._page_mask
+        shift = self._line_shift
+        states_get = self._l1_states[cpu].get
+        l1_lat = self._l1_latency
+        kinds = batch.kinds
+        addrs = batch.addrs
+        sizes = batch.sizes
+        pends = batch.pendings
+        i = batch.cursor
+        n = batch.n
+        while True:
+            vaddr = addrs[i]
+            k = kinds[i]
+            if vaddr >= kbase:
+                ppn = ktable_get(vaddr >> pshift)
+            elif utable_get is not None:
+                ppn = utable_get(vaddr >> pshift)
+            else:
+                ppn = None
+            if ppn is None:
+                return t
+            paddr = (ppn << pshift) | (vaddr & pmask)
+            line = paddr >> shift
+            last = (paddr + (sizes[i] or 1) - 1) >> shift
+            nlines = 0
+            while line <= last:
+                st = states_get(line)
+                if st is None or (k != 0 and st < _EXCLUSIVE):
+                    return t
+                line += 1
+                nlines += 1
+            lat = l1_lat * nlines
+            if k == 2:
+                lat += 4
+            t += lat
+            i += 1
+            if i >= n:
+                return t
+            nt = t + pends[i]
+            if nt >= cap:
+                return cap
+            t = nt
+
+    # ------------------------------------------------------------------
 
     def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
                    sizes: list, pends: list, i: int, n: int, t: int,
-                   limit: int, horizon: int, clock=None):
+                   limit: int, horizon: int, ext: int = 0, clock=None):
         """Service a run of batched references in one loop.
 
         Replays exactly the sequence of :meth:`access` calls the engine's
@@ -205,15 +319,25 @@ class MemorySystem:
         below ``horizon`` and fewer than ``limit`` references were served.
         ``clock`` (the engine's global scheduler) is advanced to each
         reference's issue time, exactly as the per-event loop does.
-        Returns ``(consumed, i, t, added_latency, major_fault)`` with ``i``
-        and ``t`` at the stop point (on a fault, the faulting reference's
-        index and issue time).
+        Returns ``(consumed, i, t, added_latency, major_fault, ext_refs)``
+        with ``i`` and ``t`` at the stop point (on a fault, the faulting
+        reference's index and issue time).
+
+        ``ext`` is the engine's conservative lookahead horizon: when it
+        exceeds ``horizon``, references issuing in ``[horizon, ext)`` may
+        also be consumed — but only while they stay *invisible* (resolve on
+        the inlined L1 fast path); the first reference at or past
+        ``horizon`` that would need the slow path cuts the run unconsumed,
+        because slow-path effects at those cycles could be observed by the
+        rival whose qualified window justified the extension. ``ext_refs``
+        counts references consumed beyond the strict horizon.
 
         When a tracing tap has rebound ``access`` on the instance (e.g.
         :class:`~repro.traces.memtrace.MemTraceRecorder`), every reference
-        is delegated through it so taps observe the full stream; otherwise
-        the L1 fast path is inlined here, which is the simulator's hottest
-        loop.
+        is delegated through it so taps observe the full stream — and the
+        extension is ignored (taps must see the strict interleaving);
+        otherwise the L1 fast path is inlined here, which is the
+        simulator's hottest loop.
         """
         access = self.access
         consumed = 0
@@ -229,19 +353,22 @@ class MemorySystem:
                                     t, atomic=(k == 2))
                 consumed += 1
                 if major is not None:
-                    return consumed, i, t, added, major
+                    return consumed, i, t, added, major, 0
                 added += lat
                 t += lat
                 i += 1
                 if i >= n or consumed >= limit:
-                    return consumed, i, t, added, None
+                    return consumed, i, t, added, None, 0
                 nt = t + pends[i]
                 if nt >= horizon:
-                    return consumed, i, t, added, None
+                    return consumed, i, t, added, None, 0
                 t = nt
         # untapped hot loop: locals bound once, fast path inlined; any
         # reference the filter declines goes through the normal access()
         # (which re-probes, counts the fallback, and walks the full path)
+        if ext < horizon:
+            ext = horizon
+        ext_refs = 0
         kbase = KERNEL_BASE
         ktable_get = self._kernel_table.get
         spaces_get = self._spaces.get
@@ -329,19 +456,28 @@ class MemorySystem:
                         if k == 2:
                             lat += 4
             if lat < 0:
+                if t >= horizon:
+                    # lookahead zone: this reference would take the slow
+                    # path, which rivals could observe — cut it unconsumed
+                    # (its lead-in pending was folded into t; undo it so
+                    # the engine re-parks the batch at the right time)
+                    return (consumed, i, t - pends[i], added, None,
+                            ext_refs)
                 lat, major = access(pid, vaddr, sizes[i], k != 0, cpu, t,
                                     atomic=(k == 2))
                 if major is not None:
-                    return consumed + 1, i, t, added, major
+                    return consumed + 1, i, t, added, major, ext_refs
+            if t >= horizon:
+                ext_refs += 1
             consumed += 1
             added += lat
             t += lat
             i += 1
             if i >= n or consumed >= limit:
-                return consumed, i, t, added, None
+                return consumed, i, t, added, None, ext_refs
             nt = t + pends[i]
-            if nt >= horizon:
-                return consumed, i, t, added, None
+            if nt >= ext:
+                return consumed, i, t, added, None, ext_refs
             t = nt
 
     # ------------------------------------------------------------------
@@ -352,11 +488,11 @@ class MemorySystem:
         lat = l1.cfg.latency
         st = l1.lookup(line)
         if st is not None:
-            if not write or st >= LineState.EXCLUSIVE:
-                if write and st == LineState.EXCLUSIVE:
-                    l1.set_state(line, LineState.MODIFIED)
+            if not write or st >= _EXCLUSIVE:
+                if write and st == _EXCLUSIVE:
+                    l1.set_state(line, _MODIFIED)
                     if self.l2s is not None:
-                        self.l2s[cpu].set_state(line, LineState.MODIFIED)
+                        self.l2s[cpu].set_state(line, _MODIFIED)
                 return lat
             # write hit on SHARED: upgrade through the protocol
             up, newst = proto.write_miss(cpu, line, now)
@@ -370,12 +506,12 @@ class MemorySystem:
             lat += l2.cfg.latency
             st2 = l2.lookup(line)
             if st2 is not None:
-                if write and st2 < LineState.EXCLUSIVE:
+                if write and st2 < _EXCLUSIVE:
                     up, st2 = proto.write_miss(cpu, line, now + lat)
                     lat += up
                     l2.set_state(line, st2)
-                elif write and st2 == LineState.EXCLUSIVE:
-                    st2 = LineState.MODIFIED
+                elif write and st2 == _EXCLUSIVE:
+                    st2 = _MODIFIED
                     l2.set_state(line, st2)
                 self._fill_l1(cpu, line, st2)
                 return lat
@@ -400,7 +536,7 @@ class MemorySystem:
         victim = l1.insert(line, newst)
         if victim is not None:
             vline, vstate = victim
-            if vstate == LineState.MODIFIED:
+            if vstate == _MODIFIED:
                 proto.writeback(cpu, vline, now + lat)
             else:
                 proto.forget(cpu, vline)
@@ -412,8 +548,8 @@ class MemorySystem:
         if victim is not None:
             vline, vstate = victim
             # L1 victim folds into L2 (inclusive hierarchy)
-            if vstate == LineState.MODIFIED and self.l2s is not None:
-                self.l2s[cpu].set_state(vline, LineState.MODIFIED)
+            if vstate == _MODIFIED and self.l2s is not None:
+                self.l2s[cpu].set_state(vline, _MODIFIED)
 
     def _handle_outer_victim(self, cpu: int, victim: Tuple[int, int],
                              now: int) -> None:
@@ -421,9 +557,9 @@ class MemorySystem:
         l1 = self.l1s[cpu]
         # inclusion: the L1 copy must go too, merging dirtiness
         l1st = l1.invalidate(vline)
-        if l1st == LineState.MODIFIED:
-            vstate = LineState.MODIFIED
-        if vstate == LineState.MODIFIED:
+        if l1st == _MODIFIED:
+            vstate = _MODIFIED
+        if vstate == _MODIFIED:
             self.protocol.writeback(cpu, vline, now)
         else:
             self.protocol.forget(cpu, vline)

@@ -1,0 +1,366 @@
+"""Bit-identity of the conservative lookahead windows (both layers).
+
+Layer 1 (inline engine): the batched hot loop may drain references past the
+strict rival horizon, but only references satisfying the L1 fast-path
+full-hit predicate — which touch nothing outside the issuer's private
+state, so any interleaving of them commutes with the strict order.
+
+Layer 2 (ParallelEngine): a worker in steady fire-and-forget state may be
+granted a lease to time its own references against a snapshot of its L1
+state, bounded by the earliest cycle anything else can act at all.
+
+Both are gated by ``SimConfig.lookahead`` and must produce *exactly* the
+simulated cycle counts, cache statistics, CPU time buckets and fault-fire
+counts of the strict path — with and without fault plans, and composed
+with checkpoint/restore and worker crash/replay.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import (Engine, FaultPlan, FaultRule, SimulatedCrash,
+                   complex_backend, resume)
+from repro.core.frontend import SimProcess
+from repro.host import ParallelEngine, WorkerSpec
+from repro.mem.hierarchy import MemorySystem
+
+from tests.test_determinism_harness import FAULT_OFF_WORKLOADS, _fingerprint
+
+#: timing-only plan that fires in every workload (mirrors the checkpoint
+#: suite's plan: no errno faults, so all workloads complete unchanged)
+TIMING_PLAN = FaultPlan(rules=(
+    FaultRule(site="disk:latency", prob=0.2, extra_cycles=40_000),
+    FaultRule(site="mem:degraded", prob=0.001, extra_cycles=300),
+    FaultRule(site="link:degraded", prob=0.001, extra_cycles=50),
+), seed=1998)
+
+#: ISA program that re-scans a private L1-resident buffer — the
+#: fast-path-dominated steady state where worker leases engage
+HOT_PROG = """
+    li r7, 0
+    li r8, 40
+    li r10, 0x100000
+pass:
+    li r1, 0
+    li r2, 8192
+loop:
+    loadx r3, r10, r1, 4
+    storex r3, r10, r1, 4
+    addi r1, r1, 32
+    blt r1, r2, loop
+    addi r7, r7, 1
+    blt r7, r8, pass
+    li r3, 0
+    halt
+"""
+
+
+def _snapshot(eng, stats):
+    """Fingerprint + the full memory-side picture (cache hit/miss/eviction
+    counters and per-protocol coherence traffic)."""
+    return _fingerprint(eng, stats) + (
+        tuple(sorted(eng.memsys.cache_summary()["l1"].items())),
+        dict(eng.memsys.cache_summary()["protocol"]),
+        eng.memsys.vmm.minor_faults,
+        eng.memsys.vmm.major_faults,
+    )
+
+
+def _run_inline(build, faults=None, **cfg_kw):
+    SimProcess._next_pid[0] = 1
+    eng = build(lambda **kw: complex_backend(faults=faults, **cfg_kw, **kw))
+    stats = eng.run()
+    return _snapshot(eng, stats), eng
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: inline engine windows
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(FAULT_OFF_WORKLOADS))
+def test_lookahead_bit_identical(name):
+    build = FAULT_OFF_WORKLOADS[name]
+    snap_on, eng_on = _run_inline(build, lookahead=True)
+    snap_off, eng_off = _run_inline(build, lookahead=False)
+    assert snap_on == snap_off
+    # the strict run must never grant a window
+    assert eng_off.batch_stats["la_windows"] == 0
+    assert eng_off.batch_stats["la_refs"] == 0
+
+
+@pytest.mark.parametrize("name", sorted(FAULT_OFF_WORKLOADS))
+def test_lookahead_bit_identical_under_faults(name):
+    build = FAULT_OFF_WORKLOADS[name]
+    snap_on, eng_on = _run_inline(build, faults=TIMING_PLAN, lookahead=True)
+    snap_off, _ = _run_inline(build, faults=TIMING_PLAN, lookahead=False)
+    assert snap_on == snap_off
+    assert eng_on.faults.stats.draws > 0
+
+
+def _private_heavy(cfg):
+    """4 CPUs, each re-touching a private L1-resident buffer: the
+    invisible-reference steady state the lookahead windows target."""
+    eng = Engine(cfg(num_cpus=4, coherence="mesi", num_nodes=1))
+
+    def make_app(base):
+        def app(p):
+            yield from p.touch(base, 8192, write=True, stride=32)
+            for _ in range(30):
+                yield from p.touch(base, 8192, write=True, stride=32,
+                                   work_per_line=2)
+            yield from p.exit(0)
+        return app
+
+    for c in range(4):
+        eng.spawn(f"w{c}", make_app(0x1_0000 + c * 0x10_000))
+    return eng
+
+
+def test_lookahead_drains_past_horizon():
+    """On a private-heavy workload the windows must actually engage —
+    references are consumed beyond the strict rival cut — while staying
+    bit-identical and using far fewer batch dispatches."""
+    snap_on, eng_on = _run_inline(_private_heavy, lookahead=True)
+    snap_off, eng_off = _run_inline(_private_heavy, lookahead=False)
+    assert snap_on == snap_off
+    bs_on = eng_on.batch_stats
+    assert bs_on["la_windows"] > 0
+    assert bs_on["la_refs"] > 0
+    assert bs_on["batches"] < eng_off.batch_stats["batches"]
+
+
+def test_lookahead_cycles_auto_derivation():
+    """lookahead_cycles=0 derives the window scan budget from the
+    protocol's cheapest cross-CPU interaction."""
+    eng = Engine(complex_backend(num_cpus=2))
+    mrl = eng.memsys.min_remote_latency()
+    assert mrl >= 1
+    assert eng._lookahead_cycles == max(64 * mrl, 4096)
+    eng2 = Engine(complex_backend(num_cpus=2, lookahead_cycles=777))
+    assert eng2._lookahead_cycles == 777
+
+
+@pytest.mark.parametrize("coherence", ["mesi", "none", "directory",
+                                       "coma", "dsm"])
+def test_min_remote_latency_all_protocols(coherence):
+    eng = Engine(complex_backend(num_cpus=2, num_nodes=2,
+                                 coherence=coherence))
+    assert eng.memsys.min_remote_latency() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Layer 1 x checkpointing
+# ---------------------------------------------------------------------------
+
+def test_lookahead_never_granted_while_recording(tmp_path):
+    """An active checkpoint recorder wraps the memory system; the reply
+    log needs the strict per-reference stream, so the engine must not
+    grant windows — and the result must still match the lookahead-off
+    checkpointed run bit-for-bit."""
+    build = FAULT_OFF_WORKLOADS["oltp"]
+    path = str(tmp_path / "ck.pkl")
+
+    def run(lookahead):
+        SimProcess._next_pid[0] = 1
+        eng = build(lambda **kw: complex_backend(
+            checkpoint_path=path, checkpoint_interval=2_000,
+            lookahead=lookahead, **kw))
+        stats = eng.run()
+        return _snapshot(eng, stats), eng
+
+    snap_on, eng_on = run(True)
+    snap_off, _ = run(False)
+    assert snap_on == snap_off
+    assert eng_on._ckpt.saves > 0
+    assert eng_on.batch_stats["la_refs"] == 0
+    # and both match the plain (no recorder) lookahead-on run
+    plain, _ = _run_inline(build, lookahead=True)
+    assert plain == snap_on
+
+
+def test_checkpoint_resume_with_lookahead_on(tmp_path):
+    """Crash + resume with lookahead enabled reproduces the uninterrupted
+    lookahead-off run: replayed stretches never grant windows (the replay
+    wrapper needs the strict stream) and post-replay stretches resume the
+    recorder, which also denies — lookahead is timing-neutral, so the
+    checkpointed runs stay bit-identical anyway."""
+    build = FAULT_OFF_WORKLOADS["dss"]
+    baseline, _ = _run_inline(build, lookahead=False)
+    path = str(tmp_path / "ck.pkl")
+
+    def factory(**kw):
+        return complex_backend(checkpoint_path=path,
+                               checkpoint_interval=1_500,
+                               lookahead=True, **kw)
+
+    SimProcess._next_pid[0] = 1
+    eng = build(factory)
+    eng._ckpt.crash_after_saves = 2
+    with pytest.raises(SimulatedCrash):
+        eng.run()
+    assert os.path.exists(path)
+    eng2, stats2 = resume(path, lambda: build(factory))
+    assert _snapshot(eng2, stats2) == baseline
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: worker leases (ParallelEngine)
+# ---------------------------------------------------------------------------
+
+def _run_parallel(nworkers=1, prog=HOT_PROG, **cfg_kw):
+    SimProcess._next_pid[0] = 1
+    eng = ParallelEngine(complex_backend(num_cpus=max(nworkers, 1),
+                                         **cfg_kw))
+    with eng:
+        for i in range(nworkers):
+            eng.spawn_worker(WorkerSpec(f"w{i}", prog))
+        stats = eng.run()
+    return _snapshot(eng, stats), eng
+
+
+def _run_inline_isa(nworkers=1, prog=HOT_PROG, **cfg_kw):
+    from repro.isa import Interpreter, Machine, assemble
+    from repro.isa.memory import DataMemory
+    SimProcess._next_pid[0] = 1
+    eng = Engine(complex_backend(num_cpus=max(nworkers, 1), **cfg_kw))
+    for i in range(nworkers):
+        dm = DataMemory()
+        dm.map_segment(0x100000, 1 << 22)
+        eng.spawn_interpreter(
+            f"w{i}", Interpreter(assemble(prog, f"w{i}"), Machine(dm)))
+    stats = eng.run()
+    return _snapshot(eng, stats), eng
+
+
+def test_worker_lease_matches_inline_and_strict():
+    snap_lease, eng_lease = _run_parallel(1, worker_lease=4)
+    snap_strict, eng_strict = _run_parallel(1, worker_lease=0)
+    snap_inline, _ = _run_inline_isa(1)
+    assert snap_lease == snap_strict == snap_inline
+    assert eng_lease.batch_stats["lease_refs"] > 0
+    assert eng_strict.batch_stats["leases"] == 0
+
+
+def test_worker_lease_multi_worker_identity():
+    """With rival workers the windows shrink to the rival bounds (often
+    to nothing) — grant or deny, the results must not move."""
+    snap_lease, eng_lease = _run_parallel(3, worker_lease=2)
+    snap_strict, _ = _run_parallel(3, worker_lease=0)
+    assert snap_lease == snap_strict
+    bs = eng_lease.batch_stats
+    assert bs["leases"] + bs["lease_denied"] > 0
+
+
+def test_worker_batch_knob_is_timing_neutral():
+    """SimConfig.worker_batch only changes host-side message grouping."""
+    snap16, _ = _run_parallel(2, worker_batch=16, worker_lease=0)
+    snap64, _ = _run_parallel(2, worker_batch=64, worker_lease=0)
+    snap128, _ = _run_parallel(2, worker_batch=128, worker_lease=4)
+    assert snap16 == snap64 == snap128
+
+
+def _kill_child(w, timeout=5.0):
+    deadline = time.time() + timeout
+    while not w.conn.poll() and time.time() < deadline:
+        time.sleep(0.01)
+    os.kill(w.process.pid, signal.SIGKILL)
+    w.process.join()
+
+
+def test_worker_killed_after_grant_replays_lease(monkeypatch):
+    """SIGKILL the worker right after its first lease grant is computed:
+    the supervisor relaunches it, answers the re-sent lease request from
+    the recorded reply log (same grant, same snapshot, same drain), and
+    the run completes bit-identically to an undisturbed one."""
+    baseline, _ = _run_parallel(1, worker_lease=2)
+
+    killed = []
+    orig = ParallelEngine._lease_decision
+
+    def killing_decision(self, w):
+        enc = orig(self, w)
+        if enc[0] == "lg" and not killed:
+            killed.append(True)
+            try:
+                os.kill(w.process.pid, signal.SIGKILL)
+                w.process.join(timeout=5)
+            except (OSError, ValueError):
+                pass
+        return enc
+
+    monkeypatch.setattr(ParallelEngine, "_lease_decision", killing_decision)
+    SimProcess._next_pid[0] = 1
+    eng = ParallelEngine(complex_backend(num_cpus=1, worker_lease=2))
+    eng.worker_backoff = 0.01
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("w0", HOT_PROG))
+        stats = eng.run()
+    assert killed
+    assert eng._workers[p.pid].restarts >= 1
+    assert _snapshot(eng, stats) == baseline
+
+
+def test_worker_killed_after_pretimed_apply_replays(monkeypatch):
+    """SIGKILL the worker right after its first pre-timed result was
+    consumed: the replay must regenerate and then *discard* the already
+    applied drain (it is inside the consumed prefix) instead of applying
+    it twice."""
+    baseline, _ = _run_parallel(1, worker_lease=2)
+
+    killed = []
+    orig = ParallelEngine._apply_pretimed
+
+    def killing_apply(self, w, msg):
+        orig(self, w, msg)
+        if not killed:
+            killed.append(True)
+            try:
+                os.kill(w.process.pid, signal.SIGKILL)
+                w.process.join(timeout=5)
+            except (OSError, ValueError):
+                pass
+
+    monkeypatch.setattr(ParallelEngine, "_apply_pretimed", killing_apply)
+    SimProcess._next_pid[0] = 1
+    eng = ParallelEngine(complex_backend(num_cpus=1, worker_lease=2))
+    eng.worker_backoff = 0.01
+    with eng:
+        p = eng.spawn_worker(WorkerSpec("w0", HOT_PROG))
+        stats = eng.run()
+    assert killed
+    assert eng._workers[p.pid].restarts >= 1
+    assert _snapshot(eng, stats) == baseline
+
+
+def test_parallel_checkpoint_denies_leases(tmp_path):
+    """An active checkpoint manager needs the strict per-reference stream
+    (the reply log), so lease requests are denied — and the checkpointed
+    run still matches the lease-off one."""
+    path = str(tmp_path / "ck.pkl")
+    snap_ck, eng_ck = _run_parallel(1, worker_lease=4,
+                                    checkpoint_path=path,
+                                    checkpoint_interval=2_000)
+    snap_off, _ = _run_parallel(1, worker_lease=0)
+    assert eng_ck.batch_stats["leases"] == 0
+    assert snap_ck == snap_off
+
+
+def test_lease_denied_under_bounded_stepping():
+    """run(max_events=...) is used for incremental stepping; a lease
+    could overshoot the stop point, so it must be denied."""
+    SimProcess._next_pid[0] = 1
+    eng = ParallelEngine(complex_backend(num_cpus=1, worker_lease=1,
+                                         worker_batch=8))
+    with eng:
+        eng.spawn_worker(WorkerSpec("w0", HOT_PROG))
+        while eng._live > 0:
+            eng.run(max_events=500)
+        stats = eng.stats
+    assert eng.batch_stats["leases"] == 0
+    snap_strict, _ = _run_parallel(1, worker_lease=0)
+    assert _snapshot(eng, stats) == snap_strict
