@@ -121,8 +121,17 @@ def smoke() -> dict:
     return report
 
 
+def _write_report(report) -> None:
+    out = REPO_ROOT / "BENCH_faults.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+
 def test_fault_smoke():
+    # write the artifact before asserting so run_all.py's summary sees the
+    # smoke results even on failure (the pytest path used to leave
+    # BENCH_faults.json untouched — i.e. empty/stale)
     report = smoke()
+    _write_report(report)
     assert not report["failures"], report["failures"]
     assert report["distinct_sites"] >= 3
 
@@ -134,8 +143,7 @@ def main(argv=None) -> int:
     ap.parse_args(argv)
 
     report = smoke()
-    out = REPO_ROOT / "BENCH_faults.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    _write_report(report)
     print(json.dumps(report, indent=2))
     if report["failures"]:
         print("FAULT SMOKE FAILED:", file=sys.stderr)

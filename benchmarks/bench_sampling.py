@@ -1,0 +1,133 @@
+"""Checkpoint-based sampled simulation: speed vs accuracy.
+
+``SimConfig.sampling`` alternates short detailed windows with long
+functional fast-forward windows (vectorized cache warming, calibrated
+constant latency, no protocol timing). Unlike the vec path this is
+explicitly *approximate* — the point of this bench is to measure both
+sides of the trade: wall-clock speedup over full detail, and the error it
+introduces in end-of-run cycle count and L1 miss rate.
+
+The workload is a multi-pass streaming scan over a 4 MiB buffer (larger
+than the 512 KiB L2, alternating read and write passes, two memory
+nodes) — a steady-state miss stream where the detailed model pays the
+full coherence walk per line and sampling can honestly amortise it.
+Execution-driven simulation bounds what sampling can buy: the
+application's functional execution and event generation run at full
+fidelity in *every* window, so workloads dominated by frontend work (e.g.
+the TPC-D row predicates) cap out near 3x regardless of window split —
+see EXPERIMENTS.md "Sampled simulation error bounds".
+
+Writes ``BENCH_sampling.json`` at the repo root and asserts:
+  * wall-clock speedup >= 5x over full detail (>= 2x under
+    ``COMPASS_BENCH_QUICK=1``, where the run is too short to amortise
+    setup), and
+  * cycle-count relative error <= 2% and L1 miss-rate absolute error
+    <= 2 percentage points (both modes).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import Engine, SamplingConfig, complex_backend
+from repro.core.frontend import SimProcess
+from repro.harness import render_table, sampling_summary
+
+QUICK = bool(os.environ.get("COMPASS_BENCH_QUICK"))
+BASE = 0x0001_0000
+NBYTES = 4 * 1024 * 1024
+STRIDE = 32
+PASSES = 2 if QUICK else 6
+MIN_SPEEDUP = 2.0 if QUICK else 5.0
+#: documented error bounds (EXPERIMENTS.md): cycle count relative, L1
+#: miss rate absolute
+MAX_CYCLE_ERR = 0.02
+MAX_MISS_ERR = 0.02
+SAMPLING = SamplingConfig(detail_events=2000, ff_events=248000)
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sampling.json"
+
+
+def _stream_app(proc):
+    for p in range(PASSES):
+        yield from proc.touch(BASE, NBYTES, write=(p % 2 == 1),
+                              stride=STRIDE)
+    return 0
+
+
+def _run_once(sampled):
+    SimProcess._next_pid[0] = 1
+    eng = Engine(complex_backend(num_cpus=1, num_nodes=2,
+                                 coherence="directory", fastpath=True,
+                                 sampling=SAMPLING if sampled else None))
+    eng.spawn("stream", _stream_app)
+    t0 = time.perf_counter()
+    stats = eng.run()
+    return time.perf_counter() - t0, eng, stats
+
+
+def _l1_miss_rate(eng):
+    cs = eng.memsys.cache_summary()
+    hits = sum(v[0] for v in cs["l1"].values())
+    misses = sum(v[1] for v in cs["l1"].values())
+    return misses / max(1, hits + misses)
+
+
+def test_sampling_speedup_and_error(benchmark):
+    def experiment():
+        # interleave sampled/full and keep the best of each so a host
+        # hiccup in either arm cannot fake (or hide) the speedup
+        rounds = 2 if QUICK else 3
+        best = {}
+        for _ in range(rounds):
+            for sampled in (True, False):
+                secs, eng, stats = _run_once(sampled)
+                prev = best.get(sampled)
+                if prev is None or secs < prev[0]:
+                    best[sampled] = (secs, eng, stats)
+        return best[True], best[False]
+
+    (s_s, s_eng, s_stats), (f_s, f_eng, f_stats) = \
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    speedup = f_s / s_s
+    cyc_err = abs(s_stats.end_cycle - f_stats.end_cycle) / f_stats.end_cycle
+    miss_err = abs(_l1_miss_rate(s_eng) - _l1_miss_rate(f_eng))
+    summary = sampling_summary(s_eng)
+    rows = [
+        ("sampled", f"{s_s:.3f}", f"{s_stats.end_cycle:,}"),
+        ("full detail", f"{f_s:.3f}", f"{f_stats.end_cycle:,}"),
+    ]
+    print(render_table(
+        ("configuration", "host seconds", "end cycle"),
+        rows, title="\nSampled simulation (streaming scan, 2 nodes):"))
+    print(f"  speedup: {speedup:.2f}x   cycle err: {cyc_err:.4f}   "
+          f"L1 miss-rate err: {miss_err:.4f}")
+    print(f"  windows: {summary['detail_windows']} detail / "
+          f"{summary['ff_windows']} ff   ff refs: {summary['ff_refs']:,}")
+
+    payload = {
+        "workload": f"stream_scan nbytes={NBYTES} passes={PASSES}",
+        "quick": QUICK,
+        "sampling": {"detail_events": SAMPLING.detail_events,
+                     "ff_events": SAMPLING.ff_events},
+        "end_cycle_full": f_stats.end_cycle,
+        "end_cycle_sampled": s_stats.end_cycle,
+        "cycle_rel_err": cyc_err,
+        "l1_miss_rate_abs_err": miss_err,
+        "seconds_sampled": s_s,
+        "seconds_full": f_s,
+        "speedup": speedup,
+        "windows": {"detail": summary["detail_windows"],
+                    "ff": summary["ff_windows"]},
+        "ff_refs": summary["ff_refs"],
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info.update(speedup=speedup, cycle_rel_err=cyc_err)
+    # accuracy first: the speedup is meaningless if the estimate is off
+    assert cyc_err <= MAX_CYCLE_ERR, \
+        f"cycle error {cyc_err:.4f} above bound {MAX_CYCLE_ERR}"
+    assert miss_err <= MAX_MISS_ERR, \
+        f"miss-rate error {miss_err:.4f} above bound {MAX_MISS_ERR}"
+    assert speedup >= MIN_SPEEDUP, \
+        f"sampling must be >= {MIN_SPEEDUP}x faster (got {speedup:.2f}x)"

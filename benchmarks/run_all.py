@@ -98,10 +98,11 @@ def main(argv=None) -> int:
         "benches": [{"name": name, "ok": rc == 0, "seconds": round(secs, 2)}
                     for name, rc, secs in results],
         "artifacts": {
-            name: {k: data[k] for k in
-                   ("workload", "speedup", "events", "end_cycle",
-                    "events_per_sec_on", "events_per_sec_off")
-                   if k in data}
+            # every top-level scalar is a headline number; nested tables
+            # (per-workload breakdowns, decline counters) stay in the
+            # per-bench artifact files
+            name: {k: v for k, v in data.items()
+                   if isinstance(v, (str, int, float, bool))}
             for name, data in artifact_data.items()
         },
     }

@@ -26,8 +26,9 @@ Quickstart::
 
 from .core.clock import ClockDomain, DEFAULT_CLOCK
 from .core.config import (BackendConfig, CacheConfig, DiskConfig,
-                          EthernetConfig, MemoryConfig, OSConfig, SimConfig,
-                          complex_backend, simple_backend, with_os)
+                          EthernetConfig, MemoryConfig, OSConfig,
+                          SamplingConfig, SimConfig, complex_backend,
+                          simple_backend, with_os)
 from .checkpoint import CheckpointManager, load_checkpoint, resume
 from .core.engine import Engine
 from .core.errors import (CheckpointError, CompassError, ConfigError,
@@ -53,6 +54,7 @@ __all__ = [
     "ClockDomain",
     "DEFAULT_CLOCK",
     "SimConfig",
+    "SamplingConfig",
     "BackendConfig",
     "CacheConfig",
     "MemoryConfig",

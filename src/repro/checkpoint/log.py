@@ -30,7 +30,8 @@ class _MemoryWrapper:
 
     def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
                    sizes: list, pends: list, i: int, n: int, t: int,
-                   limit: int, horizon: int, ext: int = 0, clock=None):
+                   limit: int, horizon: int, ext: int = 0, clock=None,
+                   serial=None, uhint=None):
         # mirror of MemorySystem.access_run's tapped branch: identical
         # issue-time arithmetic and cut conditions, one access() per
         # reference so the wrapper sees the full stream. The lookahead

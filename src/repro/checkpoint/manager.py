@@ -101,8 +101,12 @@ class CheckpointManager:
 
     # -- saving ------------------------------------------------------------
 
-    def save(self) -> str:
-        """Write an atomic checkpoint of the current loop-top state."""
+    def save(self, path: str = None) -> str:
+        """Write an atomic checkpoint of the current loop-top state.
+
+        ``path`` overrides the manager's default target — used by the
+        sampling controller to drop per-window snapshots (``.w<N>``)
+        without disturbing the autosave file."""
         engine = self.engine
         segments = [dict(s) for s in self.segments]
         if not segments:
@@ -121,10 +125,11 @@ class CheckpointManager:
             "segments": segments,
             "snapshot": collect_snapshot(engine),
         }
-        tmp = self.path + ".tmp"
+        target = path if path is not None else self.path
+        tmp = target + ".tmp"
         with open(tmp, "wb") as f:
             pickle.dump(ckpt, f, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, self.path)
+        os.replace(tmp, target)
         self.saves += 1
         self.session_saves += 1
         if (self.crash_after_saves is not None
@@ -133,7 +138,7 @@ class CheckpointManager:
                 f"simulated host crash after autosave #{self.saves} "
                 f"(cycle {engine.gsched.now}, "
                 f"{engine.events_processed} events)")
-        return self.path
+        return target
 
     # -- restoring ---------------------------------------------------------
 

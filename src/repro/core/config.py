@@ -179,6 +179,42 @@ class EthernetConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class SamplingConfig:
+    """Checkpoint-based sampled simulation (SMARTS/gem5-style windows).
+
+    The run alternates *detail* windows (full timing, every model engaged)
+    with *fast-forward* windows (functional cache warming only: references
+    update translation and cache contents but are charged a constant
+    calibrated latency, with no protocol/interconnect/occupancy modeling).
+    Window boundaries are measured in processed events, so the schedule is
+    deterministic for a given workload. Sampled runs are explicitly
+    *approximate*: gated by the error-bound tests in tests/test_sampling.py
+    and the measured error table in EXPERIMENTS.md, not by bit-identity.
+    """
+
+    #: events simulated in full detail per window
+    detail_events: int = 20_000
+    #: events fast-forwarded between detail windows (0 = never fast-forward)
+    ff_events: int = 80_000
+    #: constant per-reference latency charged while fast-forwarding; 0.0 =
+    #: auto-calibrate from the mean reference latency of the preceding
+    #: detail window (fractional parts are spread deterministically)
+    ff_latency: float = 0.0
+    #: with checkpointing enabled, save a snapshot at each fast-forward ->
+    #: detail transition (path suffix ``.w<N>``) so any detail window can
+    #: be re-run or inspected from its exact start state
+    checkpoint_windows: bool = False
+
+    def validate(self) -> None:
+        if self.detail_events <= 0:
+            raise ConfigError("sampling.detail_events must be positive")
+        if self.ff_events < 0:
+            raise ConfigError("sampling.ff_events must be >= 0")
+        if self.ff_latency < 0:
+            raise ConfigError("sampling.ff_latency must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
 class SimConfig:
     """Complete simulation configuration."""
 
@@ -237,6 +273,17 @@ class SimConfig:
     #: are bit-identical to a build without it.
     checkpoint_path: Optional[str] = None
     checkpoint_interval: int = 0
+    #: vectorized batch fast path: mirror the L1 tag/state arrays and page
+    #: tables as numpy arrays so a whole EventBatch is classified in one
+    #: vectorized tag-compare and all-hit prefixes retire in bulk array ops
+    #: (bit-identical timing; requires ``fastpath``; silently degrades to
+    #: the scalar loop when numpy is unavailable). Turn off to force the
+    #: scalar fast path, e.g. for equivalence testing.
+    vectorized: bool = True
+    #: sampled-simulation schedule (a SamplingConfig) alternating detailed
+    #: windows with functional fast-forward. None = full detail (default);
+    #: sampled runs are approximate — see SamplingConfig.
+    sampling: Optional[SamplingConfig] = None
 
     def validate(self) -> "SimConfig":
         if self.num_cpus <= 0:
@@ -263,6 +310,12 @@ class SimConfig:
         if self.checkpoint_path and self.checkpoint_interval <= 0:
             raise ConfigError(
                 "checkpoint_path requires checkpoint_interval > 0")
+        if self.sampling is not None:
+            self.sampling.validate()
+            if self.sampling.checkpoint_windows and not self.checkpoint_path:
+                raise ConfigError(
+                    "sampling.checkpoint_windows requires checkpointing "
+                    "(checkpoint_path + checkpoint_interval)")
         if self.backend.coherence == "mesi" and self.backend.memory.num_nodes > 1:
             raise ConfigError("MESI bus snooping models a single-node SMP")
         return self

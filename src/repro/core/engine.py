@@ -140,6 +140,12 @@ class Engine:
             from ..checkpoint import CheckpointManager
             self._ckpt = CheckpointManager(self, cfg.checkpoint_path,
                                            cfg.checkpoint_interval)
+        #: sampled-simulation window controller; None = full detail (no
+        #: hook bound, zero cost — see core/sampling.py)
+        self._sampler = None
+        if getattr(cfg, "sampling", None) is not None:
+            from .sampling import SamplingController
+            self._sampler = SamplingController(self, cfg.sampling)
 
     def _wire_faults(self) -> None:
         """Bind injection hooks at every armed site.
@@ -247,6 +253,7 @@ class Engine:
         ck = self._ckpt
         if ck is not None:
             ck.on_run_begin(self, until, max_events)
+        sam = self._sampler
         t0 = _wallclock.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
         wd_rounds = 0
@@ -259,6 +266,8 @@ class Engine:
                 # finalising (timer.stop would kill the pending tick the
                 # checkpointed run still had armed)
                 return self.stats
+            if sam is not None:
+                sam.on_loop_top(self)
             now = self.gsched.now
             if now != wd_time:
                 wd_time = now
@@ -506,7 +515,7 @@ class Engine:
         consumed, i, t, added, fault, ext_refs = self.memsys.access_run(
             proc.pid, cpu, batch.kinds, batch.addrs, batch.sizes, pends,
             batch.cursor, batch.n, batch.time, limit, horizon, ext,
-            clock=self.gsched)
+            clock=self.gsched, serial=batch.serial, uhint=batch.uhint)
         n = batch.n
         batch.cursor = i
         batch.total = total = batch.total + added

@@ -105,6 +105,16 @@ class Event:
         )
 
 
+#: monotone id distinguishing batch *contents*: reused pool objects get a
+#: fresh serial on every refill, so a serial uniquely names one filling
+_serial_counter = [0]
+
+
+def _next_serial() -> int:
+    _serial_counter[0] += 1
+    return _serial_counter[0]
+
+
 class EventBatch:
     """A run of consecutive memory references from one frontend frame.
 
@@ -134,9 +144,18 @@ class EventBatch:
     arg = None
 
     __slots__ = ("kinds", "addrs", "sizes", "pendings", "n", "cursor",
-                 "total", "time", "pid", "kernel", "mode", "depth")
+                 "total", "time", "pid", "kernel", "mode", "depth",
+                 "serial", "uhint")
 
     def __init__(self) -> None:
+        self.serial = _next_serial()
+        #: producer hint ``(kind, stride, work_per_ref)``: set by a producer
+        #: that filled the WHOLE batch as one arithmetic reference stream —
+        #: every kind equal, addresses stepping by ``stride`` with sizes
+        #: ``stride``, and every pending after the first ``work_per_ref``.
+        #: Purely an accelerator hint (mem/vec.py rebuilds the arrays from
+        #: it instead of converting the lists); None = no structure claimed.
+        self.uhint = None
         self.kinds: list = []
         self.addrs: list = []
         self.sizes: list = []
@@ -160,7 +179,10 @@ class EventBatch:
         self.n += 1
 
     def reset(self) -> None:
-        """Empty the batch for reuse."""
+        """Empty the batch for reuse. Bumps ``serial``: any cached
+        classification of the old contents (mem/vec.py) is invalidated."""
+        self.serial = _next_serial()
+        self.uhint = None
         self.kinds.clear()
         self.addrs.clear()
         self.sizes.clear()
@@ -176,8 +198,11 @@ class EventBatch:
 
 
 #: references per batch before the producer must flush (bounds both the
-#: parallel-array size and how far a frontend can run ahead of a cut)
-BATCH_CAP = 64
+#: parallel-array size and how far a frontend can run ahead of a cut).
+#: Sized so the vectorized classifier (mem/vec.py) amortizes its fixed
+#: per-batch numpy cost; results are cap-independent (the consumer cuts
+#: batches wherever timing requires), so this is purely a host-side knob.
+BATCH_CAP = 1024
 
 #: freelist of EventBatch objects (engine is single-threaded)
 _batch_pool: list = []

@@ -277,39 +277,55 @@ class Proc:
         if self.process.batching:
             # batched pipeline: one EventBatch message per BATCH_CAP
             # references instead of one generator suspension each. The
-            # parallel arrays are filled through bound appends (reset()
-            # clears the same list objects, so the bindings stay valid);
-            # only the final ragged reference can be shorter than stride.
+            # parallel arrays are filled with bulk extends — the reference
+            # stream of a strided touch is fully determined up front, so
+            # each batch-sized chunk is materialised in C-level list ops
+            # (kind/pending constants, a range() of addresses); only the
+            # final ragged reference can be shorter than stride.
             k = int(kind)
             cap = ev.BATCH_CAP
             batch = ev.acquire_batch()
-            kapp = batch.kinds.append
-            aapp = batch.addrs.append
-            sapp = batch.sizes.append
-            papp = batch.pendings.append
+            # the whole filling is one arithmetic stream — advertise it so
+            # the vectorized consumer can skip the list conversions; a
+            # ragged final reference voids the claim for its filling
+            uhint = (k, stride, work_per_line)
+            batch.uhint = uhint
             n = batch.n
             pending = pend.pending
             pend.pending = 0
             last_full = end - stride
             while a < end:
+                room = cap - n
+                left = -(-(end - a) // stride)
+                cnt = room if room < left else left
+                last = a + (cnt - 1) * stride
+                batch.kinds.extend([k] * cnt)
+                batch.addrs.extend(range(a, last + 1, stride))
+                szs = [stride] * cnt
+                if last > last_full:
+                    szs[-1] = end - last
+                    batch.uhint = None
+                batch.sizes.extend(szs)
                 if work_per_line:
-                    pending += work_per_line
-                kapp(k)
-                aapp(a)
-                sapp(stride if a <= last_full else end - a)
-                papp(pending)
+                    ps = [work_per_line] * cnt
+                    ps[0] += pending
+                else:
+                    ps = [0] * cnt
+                    ps[0] = pending
+                batch.pendings.extend(ps)
                 pending = 0
-                n += 1
+                n += cnt
+                a = last + stride
                 if n >= cap:
                     batch.n = n
                     total += yield batch
                     batch.reset()
+                    batch.uhint = uhint
                     n = 0
                     # handler frames that ran while the batch was parked
                     # may have left pending cycles for the next reference
                     pending = pend.pending
                     pend.pending = 0
-                a += stride
             if n:
                 batch.n = n
                 total += yield batch

@@ -2,7 +2,8 @@
 measurement (Tables 2–3), and ASCII table rendering for the benches."""
 
 from .profile import (ProfileRow, fastpath_summary, profile_row,
-                      top_oscall_table, translate_summary)
+                      sampling_summary, top_oscall_table, translate_summary,
+                      vec_summary)
 from .slowdown import SlowdownResult, measure_slowdown
 from .tables import render_table
 from .hostmodel import (HostCosts, HostPrediction, measure_context_switch,
@@ -12,6 +13,8 @@ __all__ = [
     "ProfileRow",
     "fastpath_summary",
     "translate_summary",
+    "vec_summary",
+    "sampling_summary",
     "profile_row",
     "top_oscall_table",
     "SlowdownResult",

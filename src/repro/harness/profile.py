@@ -87,6 +87,43 @@ def fastpath_summary(engine) -> dict:
     return out
 
 
+def vec_summary(engine) -> dict:
+    """Observability row for the vectorized batch memory path.
+
+    Reports how many batch runs classified and retired through the numpy
+    mirror state vs fell back to the scalar loop, the mirror rebuild count,
+    and the per-reason decline counters from the vec classifier (see
+    DESIGN.md "Vectorized mirror state").
+    """
+    ms = engine.memsys
+    out = {
+        "enabled": ms._vec is not None,
+        "vec_batches": ms.vec_batches,
+        "vec_refs": ms.vec_refs,
+        "vec_fallbacks": ms.vec_fallbacks,
+        "vec_rebuilds": ms.vec_rebuilds,
+    }
+    if ms._vec is not None:
+        out["declines"] = dict(ms._vec.declines)
+    return out
+
+
+def sampling_summary(engine) -> dict:
+    """Observability row for checkpoint-based sampled simulation.
+
+    Reports how many references retired through the functional
+    fast-forward path vs the detailed model, plus the window counts and
+    calibrated ff latencies from the controller. ``enabled: False`` (and
+    no other keys) when sampling is off.
+    """
+    ctl = getattr(engine, "_sampler", None)
+    if ctl is None:
+        return {"enabled": False}
+    out = {"enabled": True}
+    out.update(ctl.summary())
+    return out
+
+
 def translate_summary(engine) -> dict:
     """Observability row for the basic-block translation cache.
 

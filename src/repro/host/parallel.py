@@ -595,6 +595,7 @@ class ParallelEngine(Engine):
         if (not self._lease_on or self._ckpt is not None
                 or ms.__class__ is not MemorySystem
                 or "access" in ms.__dict__ or not ms._fast_on
+                or ms.ff_active
                 or self._run_budget_capped
                 or p is None or p.cpu < 0 or p.kernel_mode
                 or p.pending_batches):
@@ -793,6 +794,7 @@ class ParallelEngine(Engine):
         ck = self._ckpt
         if ck is not None:
             ck.on_run_begin(self, until, max_events)
+        sam = self._sampler
         t0 = _wall.perf_counter()
         budget = max_events if max_events is not None else (1 << 62)
         # lease-window caps for this run: windows must not reach past the
@@ -816,6 +818,8 @@ class ParallelEngine(Engine):
             if ck is not None and ck.on_loop_top(self):
                 # replay stop: skip finalisation, same as Engine.run
                 return self.stats
+            if sam is not None:
+                sam.on_loop_top(self)
             now = self.gsched.now
             if now != wd_time:
                 wd_time = now

@@ -33,7 +33,7 @@ class Cache:
     """One cache: maps line address → state, LRU within each set."""
 
     __slots__ = ("name", "cfg", "line_shift", "n_sets", "set_mask", "assoc",
-                 "_sets", "_states",
+                 "_sets", "_states", "version",
                  "hits", "misses", "evictions", "writebacks", "invalidations")
 
     def __init__(self, name: str, cfg: CacheConfig) -> None:
@@ -52,6 +52,12 @@ class Cache:
         self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
         #: line address -> LineState
         self._states: Dict[int, int] = {}
+        #: bumped on every content/state mutation that could *relax* what a
+        #: lookup may answer (fills, invalidations, state changes, restores);
+        #: the vectorized mirror (mem/vec.py) resyncs when it changes. Pure
+        #: LRU reordering and the fast path's direct E->M upgrades do not
+        #: bump it — see DESIGN.md, "mirror-state invariants".
+        self.version = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -92,6 +98,7 @@ class Cache:
         """Fill ``line`` with ``state``; returns the victim ``(line, state)``
         when an eviction was needed (caller handles the writeback)."""
         victim: Optional[Tuple[int, int]] = None
+        self.version += 1
         s = self._sets[self._set_of(line)]
         if line in self._states:
             # refill of a present line: just update state + LRU
@@ -115,6 +122,7 @@ class Cache:
         """Change the state of a present line (upgrade/downgrade)."""
         if line in self._states:
             self._states[line] = state
+            self.version += 1
 
     def invalidate(self, line: int) -> Optional[int]:
         """Drop ``line``; returns its prior state (None if absent)."""
@@ -122,6 +130,7 @@ class Cache:
         if st is not None:
             self._sets[self._set_of(line)].remove(line)
             self.invalidations += 1
+            self.version += 1
         return st
 
     def contains(self, line: int) -> bool:
@@ -136,6 +145,8 @@ class Cache:
         dirty = [l for l, s in self._states.items() if s == _MODIFIED]
         for l in dirty:
             self._states[l] = _SHARED
+        if dirty:
+            self.version += 1
         self.writebacks += len(dirty)
         return dirty
 
@@ -163,6 +174,7 @@ class Cache:
             dst[:] = src
         self._states.clear()
         self._states.update(state["states"])
+        self.version += 1
         self.hits = state["hits"]
         self.misses = state["misses"]
         self.evictions = state["evictions"]

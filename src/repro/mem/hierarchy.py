@@ -18,6 +18,11 @@ from .cache import Cache
 from .coherence import make_protocol
 from .pagetable import KERNEL_BASE, MajorFault, Vmm
 
+try:
+    import numpy as _np
+except ImportError:          # pragma: no cover - numpy is a soft dependency
+    _np = None
+
 # hot-path int constants: IntEnum member access and comparisons carry enum
 # dispatch overhead, so the access paths below compare against plain ints
 # (LineState is an IntEnum, so stored values interoperate either way)
@@ -95,6 +100,31 @@ class MemorySystem:
         #: outside fault-plan runs.
         self.fault_extra = None
 
+        # --- vectorized batch fast path (see mem/vec.py) -------------------
+        self.vec_batches = 0
+        self.vec_refs = 0
+        self.vec_fallbacks = 0
+        self.vec_rebuilds = 0
+        self._vec = None
+        if (self._fast_on and _np is not None
+                and bool(getattr(cfg, "vectorized", True))):
+            from .vec import VecState
+            self._vec = VecState(self)
+
+        # --- sampled-simulation fast-forward mode --------------------------
+        # While ff_active, references warm translation + cache contents
+        # functionally and are charged a constant calibrated latency; no
+        # protocol/interconnect modeling runs (see core/sampling.py).
+        self.ff_active = False
+        self.ff_refs = 0
+        self._ff_base = 0
+        self._ff_frac = 0.0
+        self._ff_err = 0.0
+        #: slow-path latency accumulator (full access() path only) — with
+        #: fast_hits * l1_latency this yields the mean reference latency a
+        #: detail window measured, which calibrates the next ff window
+        self.lat_slow = 0
+
     # ------------------------------------------------------------------
 
     def access(self, pid: int, vaddr: int, size: int, write: bool,
@@ -105,6 +135,8 @@ class MemorySystem:
         On a major fault no timing progress is made — the engine must run
         the VM trap path and retry.
         """
+        if self.ff_active:
+            return self._ff_access(pid, vaddr, size, write, cpu, atomic)
         if self._fast_on:
             # fast path: page already translated + all lines hit L1 with
             # sufficient rights (bit-identical to the full path below)
@@ -196,6 +228,7 @@ class MemorySystem:
         fe = self.fault_extra
         if fe is not None:
             latency += fe()
+        self.lat_slow += latency
         return latency, None
 
     # ------------------------------------------------------------------
@@ -216,7 +249,7 @@ class MemorySystem:
         nothing — used to bound how long a *rival* frontend provably stays
         invisible (a fast-path hit touches only issuer-private state).
         """
-        if not self._fast_on:
+        if not self._fast_on or self.ff_active:
             return -1
         if vaddr >= KERNEL_BASE:
             ppn = self._kernel_table.get(vaddr >> self._page_shift)
@@ -255,7 +288,7 @@ class MemorySystem:
         batch ends first — the frontend's next event can be no earlier).
         """
         t = batch.time
-        if not self._fast_on or "access" in self.__dict__:
+        if not self._fast_on or self.ff_active or "access" in self.__dict__:
             return t
         kbase = KERNEL_BASE
         ktable_get = self._kernel_table.get
@@ -309,7 +342,8 @@ class MemorySystem:
 
     def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
                    sizes: list, pends: list, i: int, n: int, t: int,
-                   limit: int, horizon: int, ext: int = 0, clock=None):
+                   limit: int, horizon: int, ext: int = 0, clock=None,
+                   serial=None, uhint=None):
         """Service a run of batched references in one loop.
 
         Replays exactly the sequence of :meth:`access` calls the engine's
@@ -339,6 +373,8 @@ class MemorySystem:
         otherwise the L1 fast path is inlined here, which is the
         simulator's hottest loop.
         """
+        if i >= n or limit <= 0:
+            return 0, i, t, 0, None, 0
         access = self.access
         consumed = 0
         added = 0
@@ -363,9 +399,47 @@ class MemorySystem:
                 if nt >= horizon:
                     return consumed, i, t, added, None, 0
                 t = nt
-        # untapped hot loop: locals bound once, fast path inlined; any
-        # reference the filter declines goes through the normal access()
-        # (which re-probes, counts the fallback, and walks the full path)
+        if self.ff_active:
+            # sampled fast-forward window: functional warming, constant
+            # calibrated latency, strict horizon (no lookahead extension)
+            return self._ff_run(pid, cpu, kinds, addrs, sizes, pends,
+                                i, n, t, limit, horizon, clock)
+        if self._vec is not None:
+            return self.access_run_vec(pid, cpu, kinds, addrs, sizes, pends,
+                                       i, n, t, limit, horizon, ext, clock,
+                                       serial, uhint)
+        return self._access_run_scalar(pid, cpu, kinds, addrs, sizes, pends,
+                                       i, n, t, limit, horizon, ext, clock)
+
+    def access_run_vec(self, pid: int, cpu: int, kinds: list, addrs: list,
+                       sizes: list, pends: list, i: int, n: int, t: int,
+                       limit: int, horizon: int, ext: int = 0, clock=None,
+                       serial=None, uhint=None):
+        """Vectorized :meth:`access_run`: classify the run in one numpy
+        membership test against the mirror state, retire the all-hit prefix
+        in bulk array ops, and delegate anything past it to the scalar loop.
+        Bit-identical to the scalar path (SimConfig.vectorized off).
+        ``serial`` names the batch filling so a classification survives
+        horizon-cut continuations of the same batch."""
+        res = self._vec.run(pid, cpu, kinds, addrs, sizes, pends, i, n, t,
+                            limit, horizon, ext, clock, serial, uhint)
+        if res is not None:
+            return res
+        self.vec_fallbacks += 1
+        return self._access_run_scalar(pid, cpu, kinds, addrs, sizes, pends,
+                                       i, n, t, limit, horizon, ext, clock)
+
+    def _access_run_scalar(self, pid: int, cpu: int, kinds: list,
+                           addrs: list, sizes: list, pends: list, i: int,
+                           n: int, t: int, limit: int, horizon: int,
+                           ext: int = 0, clock=None):
+        """The untapped scalar hot loop: locals bound once, fast path
+        inlined; any reference the filter declines goes through the normal
+        access() (which re-probes, counts the fallback, and walks the full
+        path)."""
+        access = self.access
+        consumed = 0
+        added = 0
         if ext < horizon:
             ext = horizon
         ext_refs = 0
@@ -479,6 +553,316 @@ class MemorySystem:
             if nt >= ext:
                 return consumed, i, t, added, None, ext_refs
             t = nt
+
+    # ------------------------------------------------------------------
+    # sampled-simulation fast-forward (see core/sampling.py + DESIGN.md)
+    # ------------------------------------------------------------------
+
+    def ff_begin(self, mean_latency: float) -> None:
+        """Enter functional fast-forward: references warm the caches but
+        are charged a constant ``mean_latency`` (fractional parts spread
+        deterministically by an error accumulator)."""
+        base = int(mean_latency)
+        if base < 0:
+            base = 0
+        frac = mean_latency - base
+        if frac < 0.0 or frac >= 1.0:
+            frac = 0.0
+        self._ff_base = base
+        self._ff_frac = frac
+        self._ff_err = 0.0
+        self.ff_active = True
+
+    def ff_end(self) -> None:
+        """Leave fast-forward; detailed timing resumes on warmed caches."""
+        self.ff_active = False
+
+    def _ff_access(self, pid: int, vaddr: int, size: int, write: bool,
+                   cpu: int, atomic: bool = False):
+        """One reference in fast-forward: translate (faults still surface),
+        warm L1/L2 contents, charge the calibrated constant latency. The
+        coherence protocol is *not* consulted — its guards tolerate the
+        resulting stale directory entries, and the next detail window
+        re-establishes precise sharing state on miss."""
+        paddr, major, minor = self.vmm.translate(pid, vaddr, write, cpu)
+        if major is not None:
+            return 0, major
+        self.accesses += 1
+        self.ff_refs += 1
+        shift = self._line_shift
+        line = paddr >> shift
+        last = (paddr + (size or 1) - 1) >> shift
+        l1 = self.l1s[cpu]
+        states = self._l1_states[cpu]
+        while line <= last:
+            st = states.get(line)
+            if st is None:
+                l1.misses += 1
+                self._ff_fill(cpu, line, 3 if write else 1)
+            else:
+                l1.hits += 1
+                if write and st < 3:
+                    # S/E -> M without the protocol: conservative for the
+                    # mirror, tolerated by the directory guards
+                    states[line] = 3
+            line += 1
+        lat = self._ff_base
+        e = self._ff_err + self._ff_frac
+        if e >= 1.0:
+            e -= 1.0
+            lat += 1
+        self._ff_err = e
+        if atomic:
+            lat += 4
+        return lat, None
+
+    def _ff_fill(self, cpu: int, line: int, st: int) -> None:
+        """Functional fill: install in L2 then L1 through the Cache methods
+        (so versions bump and the vec mirror resyncs), keep inclusion by
+        invalidating inner copies of outer victims, but send no
+        writeback/forget — fast-forward models no protocol traffic."""
+        l1 = self.l1s[cpu]
+        if self.l2s is not None:
+            l2 = self.l2s[cpu]
+            st2 = l2._states.get(line)
+            if st2 is None:
+                l2.misses += 1
+                victim = l2.insert(line, st)
+                if victim is not None:
+                    l1.invalidate(victim[0])
+            else:
+                l2.hits += 1
+                if st > st2:
+                    l2.set_state(line, st)
+        victim = l1.insert(line, st)
+        if victim is not None and victim[1] == _MODIFIED \
+                and self.l2s is not None:
+            self.l2s[cpu].set_state(victim[0], _MODIFIED)
+
+    def _ff_run(self, pid: int, cpu: int, kinds: list, addrs: list,
+                sizes: list, pends: list, i: int, n: int, t: int,
+                limit: int, horizon: int, clock=None):
+        """Batched fast-forward: translation + warming + the calibrated
+        latency chain in array ops, falling back to :meth:`_ff_access` for
+        short tails and references whose page is not yet translated (those
+        may allocate or major-fault). Ignores the lookahead extension: ff
+        timing is synthetic, so no invisibility argument applies."""
+        np_ = _np
+        consumed = 0
+        added = 0
+        pshift = self._page_shift
+        kvpn = KERNEL_BASE >> pshift
+        ktab = self._kernel_table
+        while True:
+            m = n - i
+            rem = limit - consumed
+            if rem < m:
+                m = rem
+            if np_ is None or m < 8:
+                # scalar tail (same stream the per-event loop would make)
+                while True:
+                    k = kinds[i]
+                    if clock is not None and t > clock.now:
+                        clock.now = t
+                    lat, major = self._ff_access(
+                        pid, addrs[i], sizes[i], k != 0, cpu,
+                        atomic=(k == 2))
+                    consumed += 1
+                    if major is not None:
+                        return consumed, i, t, added, major, 0
+                    added += lat
+                    t += lat
+                    i += 1
+                    if i >= n or consumed >= limit:
+                        return consumed, i, t, added, None, 0
+                    nt = t + pends[i]
+                    if nt >= horizon:
+                        return consumed, i, t, added, None, 0
+                    t = nt
+            a = np_.array(addrs[i:i + m], dtype=np_.int64)
+            vpn = a >> pshift
+            uv, inv = np_.unique(vpn, return_inverse=True)
+            sp = self._spaces.get(pid)
+            utab = sp.table if sp is not None else None
+            uppn = np_.empty(uv.shape[0], dtype=np_.int64)
+            for j, v in enumerate(uv.tolist()):
+                p = ktab.get(v) if v >= kvpn else (
+                    utab.get(v) if utab is not None else None)
+                uppn[j] = -1 if p is None else p
+            ppn = uppn[inv]
+            untrans = np_.flatnonzero(ppn < 0)
+            seg = int(untrans[0]) if untrans.size else m
+            if seg == 0:
+                # first ref needs page allocation (or major-faults): take
+                # the scalar path for it, then rescan the rest
+                k = kinds[i]
+                if clock is not None and t > clock.now:
+                    clock.now = t
+                lat, major = self._ff_access(pid, addrs[i], sizes[i],
+                                             k != 0, cpu, atomic=(k == 2))
+                consumed += 1
+                if major is not None:
+                    return consumed, i, t, added, major, 0
+                added += lat
+                t += lat
+                i += 1
+                if i >= n or consumed >= limit:
+                    return consumed, i, t, added, None, 0
+                nt = t + pends[i]
+                if nt >= horizon:
+                    return consumed, i, t, added, None, 0
+                t = nt
+                continue
+            k = np_.array(kinds[i:i + seg], dtype=np_.int64)
+            sz = np_.array(sizes[i:i + seg], dtype=np_.int64)
+            paddr = (ppn[:seg] << pshift) | (a[:seg] & self._page_mask)
+            shift = self._line_shift
+            line0 = paddr >> shift
+            line1 = (paddr + np_.maximum(sz, 1) - 1) >> shift
+            nl = line1 - line0 + 1
+            lat = np_.full(seg, self._ff_base, dtype=np_.int64)
+            fr = self._ff_frac
+            if fr > 0.0:
+                e0 = self._ff_err
+                grid = np_.floor(e0 + fr * np_.arange(1, seg + 1))
+                lat += np_.diff(np_.concatenate(([0.0], grid))
+                                ).astype(np_.int64)
+            lat[k == 2] += 4
+            if seg > 1:
+                steps = lat[:-1] + np_.array(pends[i + 1:i + seg],
+                                             dtype=np_.int64)
+                issue = np_.empty(seg, dtype=np_.int64)
+                issue[0] = 0
+                np_.cumsum(steps, out=issue[1:])
+                issue += t
+            else:
+                issue = np_.array([t], dtype=np_.int64)
+            c = seg
+            cut = int(np_.searchsorted(issue, horizon, side="left"))
+            if cut < 1:
+                cut = 1
+            if cut < c:
+                c = cut
+            self._ff_warm(cpu, line0[:c], nl[:c], k[:c] != 0)
+            self.accesses += c
+            self.ff_refs += c
+            if fr > 0.0:
+                tot = self._ff_err + fr * c
+                self._ff_err = tot - int(tot)
+            last_issue = int(issue[c - 1])
+            if clock is not None and last_issue > clock.now:
+                clock.now = last_issue
+            added += int(lat[:c].sum())
+            t = last_issue + int(lat[c - 1])
+            consumed += c
+            i += c
+            if i >= n or consumed >= limit:
+                return consumed, i, t, added, None, 0
+            nt = t + pends[i]
+            if nt >= horizon:
+                return consumed, i, t, added, None, 0
+            t = nt
+
+    def _ff_warm(self, cpu: int, line0, nl, wr) -> None:
+        """Bulk functional warming: count one miss per newly-installed line
+        and a hit per further touch (the scalar ff counting), upgrade
+        write-touched lines to MODIFIED. Fills are inlined raw dict/list
+        ops — the same installs/evictions/inclusion drops :meth:`_ff_fill`
+        performs through the Cache methods, but with one L1 version bump
+        covering the whole batch (legal because the vec mirror can only
+        observe the caches between runs, never mid-warm)."""
+        np_ = _np
+        c = line0.shape[0]
+        tot = int(nl.sum())
+        if tot == c:
+            seq = line0
+            wrs = wr
+        else:
+            starts = np_.cumsum(nl) - nl
+            offs = np_.arange(tot, dtype=np_.int64) - np_.repeat(starts, nl)
+            seq = np_.repeat(line0, nl) + offs
+            wrs = np_.repeat(wr, nl)
+        uniq, idx = np_.unique(seq, return_inverse=True)
+        wany = np_.zeros(uniq.shape[0], dtype=bool)
+        np_.logical_or.at(wany, idx, wrs)
+        counts = np_.bincount(idx)
+        l1 = self.l1s[cpu]
+        states = self._l1_states[cpu]
+        states_get = states.get
+        sets = self._l1_sets[cpu]
+        mask = self._l1_set_mask
+        nsets = self._l1_nsets
+        assoc = l1.assoc
+        l2 = self.l2s[cpu] if self.l2s is not None else None
+        if l2 is not None:
+            l2states = l2._states
+            l2states_get = l2states.get
+            l2sets = l2._sets
+            l2assoc = l2.assoc
+            l2n = len(l2sets)
+            l2mask = l2n - 1 if (l2n & (l2n - 1)) == 0 else -1
+        # counters accumulate in locals and flush once: attribute writes
+        # per line would dominate the loop
+        h1 = m1 = e1 = w1 = inv1 = 0
+        h2 = m2 = e2 = w2 = 0
+        filled = False
+        for ln, w, cnt in zip(uniq.tolist(), wany.tolist(),
+                              counts.tolist()):
+            st = states_get(ln)
+            if st is not None:
+                h1 += cnt
+                if w and st < 3:
+                    states[ln] = 3
+                continue
+            m1 += 1
+            h1 += cnt - 1
+            filled = True
+            stn = 3 if w else 1
+            if l2 is not None:
+                st2 = l2states_get(ln)
+                if st2 is None:
+                    m2 += 1
+                    s2 = l2sets[ln & l2mask if l2mask >= 0 else ln % l2n]
+                    if len(s2) >= l2assoc:
+                        v = s2.pop()
+                        vst = l2states.pop(v)
+                        e2 += 1
+                        if vst == 3:
+                            w2 += 1
+                        # inclusion: drop the inner copy of the L2 victim
+                        if states.pop(v, None) is not None:
+                            sets[v & mask if mask >= 0
+                                 else v % nsets].remove(v)
+                            inv1 += 1
+                    s2.insert(0, ln)
+                    l2states[ln] = stn
+                else:
+                    h2 += 1
+                    if stn > st2:
+                        l2states[ln] = stn
+            s = sets[ln & mask if mask >= 0 else ln % nsets]
+            if len(s) >= assoc:
+                v = s.pop()
+                vst = states.pop(v)
+                e1 += 1
+                if vst == 3:
+                    w1 += 1
+                    if l2 is not None and v in l2states:
+                        l2states[v] = 3
+            s.insert(0, ln)
+            states[ln] = stn
+        l1.hits += h1
+        l1.misses += m1
+        l1.evictions += e1
+        l1.writebacks += w1
+        l1.invalidations += inv1
+        if l2 is not None:
+            l2.hits += h2
+            l2.misses += m2
+            l2.evictions += e2
+            l2.writebacks += w2
+        if filled:
+            l1.version += 1
 
     # ------------------------------------------------------------------
 

@@ -112,11 +112,14 @@ class Vma:
 class _Space:
     """Page table + region list for one address space."""
 
-    __slots__ = ("table", "vmas")
+    __slots__ = ("table", "vmas", "version")
 
     def __init__(self) -> None:
         self.table: Dict[int, int] = {}       # vpn -> ppn
         self.vmas: List[Vma] = []
+        #: bumped on every page-table mutation; the vectorized fast path
+        #: (mem/vec.py) keys its sorted translation snapshot on it
+        self.version = 0
 
     def find_vma(self, vaddr: int) -> Optional[Vma]:
         for v in self.vmas:
@@ -214,6 +217,7 @@ class Vmm:
                 for vpn in range(v.start >> self._page_shift,
                                  ((v.end - 1) >> self._page_shift) + 1):
                     sp.table.pop(vpn, None)
+                sp.version += 1
                 if v.kind == "shm" and v.segment is not None:
                     v.segment.nattach -= 1
                 return v
@@ -314,6 +318,7 @@ class Vmm:
             node = self.placement.place(vpn & 0xFFFF, 0, self.cpu_node[cpu])
             ppn = self.phys.alloc(node)
             sp.table[vpn] = ppn
+            sp.version += 1
             self.minor_faults += 1
             return (ppn * ps + offset, None, True)
 
@@ -334,6 +339,7 @@ class Vmm:
                                         self.cpu_node[cpu])
             ppn = self.phys.alloc(node)
             sp.table[vpn] = ppn
+            sp.version += 1
             self.minor_faults += 1
             return (ppn * ps + offset, None, True)
         if vma.kind == "shm":
@@ -348,6 +354,7 @@ class Vmm:
                 ppn = self.phys.alloc(node)
                 seg.pages[idx] = ppn
             sp.table[vpn] = ppn
+            sp.version += 1
             self.minor_faults += 1
             return (ppn * ps + offset, None, True)
         # file-backed
@@ -356,6 +363,7 @@ class Vmm:
         ppn = self._file_pages.get(k)
         if ppn is not None:
             sp.table[vpn] = ppn
+            sp.version += 1
             self.minor_faults += 1
             return (ppn * ps + offset, None, True)
         self.major_faults += 1
@@ -403,8 +411,10 @@ class Vmm:
             sp = self._spaces[pid]
             sp.table.clear()
             sp.table.update(table)
+            sp.version += 1
         self._kernel.table.clear()
         self._kernel.table.update(state["kernel_table"])
+        self._kernel.version += 1
         for shmid, seg_state in state["segments"].items():
             seg = self._segments.get(shmid)
             if seg is None:

@@ -1,0 +1,483 @@
+"""Vectorized mirror of the L1 fast-path lookup state.
+
+The scalar fast path (hierarchy.access_run) classifies and retires batched
+references one dict probe at a time. This module keeps a numpy mirror of the
+same lookup state — a sorted array of each CPU's resident L1 lines (with
+MESI states) and a sorted merged snapshot of each pid's page tables — so a
+whole EventBatch run is classified in a handful of vectorized membership
+tests, and the leading all-hit prefix retires in bulk array ops (counters,
+E->M upgrades, LRU replay). Anything else — a miss, an upgrade from SHARED,
+an untranslated page, a reference spanning more than two lines — ends the
+prefix and is delegated to the unchanged scalar loop, so results are
+bit-identical with the mirror on or off.
+
+Mirror-state invariants (see DESIGN.md, "Vectorized mirror state"):
+
+* The dicts are authoritative; the mirror is a cache of them keyed on
+  ``Cache.version`` / ``_Space.version`` counters bumped by every mutation
+  that could make the mirror *falsely permissive* (fills, invalidations,
+  downgrades, restores, page-table changes).
+* Mutations that leave the fast-path predicate invariant — LRU reordering
+  and direct E->M upgrades — do not bump versions; the mirror may then lag
+  but only in the *conservative* direction (a stale EXCLUSIVE where the
+  dict says MODIFIED still accepts, and accept is correct for both).
+* A stale mirror therefore only ever causes false *declines*, which fall
+  back to the scalar path — never false accepts.
+
+Classification is cached per batch filling (``EventBatch.serial``) together
+with the version triple it was computed under: a batch cut at the horizon
+re-enters ``run()`` once per continuation, and as long as no version moved
+the continuation reuses the cached verdicts, so the array work is paid once
+per batch instead of once per cut. Anything that could change a verdict
+(fill, invalidation, downgrade, unmap, restore) bumps a version and misses
+the cache; in-place E->M flips only widen acceptance and pend zeroing on the
+fault path only affects the retried reference's own lead-in, which the
+issue-time chain never reads.
+
+Resync rebuilds the affected arrays from the dicts whenever the versions
+move; a rebuild immediately followed by an accepted run pays for itself.
+What must not thrash is the *unproductive* case — classify (and possibly
+rebuild) work on runs whose first reference is not an L1 fast hit. Each
+consecutive unproductive entry backs the mirror off exponentially
+(``run()`` goes straight to the scalar loop for ``2^failures`` entries,
+capped); one accepted run resets the backoff. The schedule depends only on
+the simulated reference stream, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: runs shorter than this go scalar: the fixed cost of the array classify
+#: only amortises over a reasonable prefix
+MIN_RUN = 8
+
+#: consecutive unproductive entries (classified but declined) tolerated
+#: before backing off
+FAIL_TOLERANCE = 2
+
+#: cooldown cap (entries skipped) for the exponential backoff
+COOL_CAP = 256
+
+_SENTINEL = np.iinfo(np.int64).max
+
+
+class VecState:
+    """Numpy mirror + the vectorized prefix of ``access_run``."""
+
+    def __init__(self, ms) -> None:
+        self.ms = ms
+        n_cpus = len(ms.l1s)
+        #: per-CPU sorted array of resident line addresses (+inf sentinel)
+        self._lines = [None] * n_cpus
+        #: per-CPU MESI states aligned with ``_lines``
+        self._lsts = [None] * n_cpus
+        self._cache_versions = [-1] * n_cpus
+        #: pid -> (kernel_version, space_version, vpns, pbase): one merged
+        #: sorted translation snapshot per pid (user vpns sit strictly below
+        #: kernel vpns — USER_LIMIT — so concatenation stays sorted), with a
+        #: +inf sentinel so lookups need no bounds clipping
+        self._snaps: dict = {}
+        #: classification cache: key + per-batch arrays (see _classify)
+        self._ck = None
+        self._cd = None
+        #: hinted-stream classification cache: normalized-anchor key ->
+        #: cache-data dict. Hinted fillings are fully described by
+        #: (kind, stride, lead-in, anchor, length), so a warm re-scan of
+        #: the same buffer reuses its classification across batch serials
+        #: as long as no version moved (versions are part of the key).
+        self._cdm: dict = {}
+        #: reusable arange for rebuilding hinted address streams
+        self._ar = None
+        self._fail = 0
+        self._cool = 0
+        #: decline reasons (observability only; see harness vec_summary)
+        self.declines = {"short": 0, "cool": 0, "first_miss": 0}
+
+    # -- resync ------------------------------------------------------------
+
+    def _rebuild_cache(self, cpu: int) -> None:
+        ms = self.ms
+        l1 = ms.l1s[cpu]
+        st_dict = l1._states
+        n = len(st_dict)
+        lines = np.empty(n + 1, dtype=np.int64)
+        lsts = np.zeros(n + 1, dtype=np.int8)
+        lines[n] = _SENTINEL
+        if n:
+            keys = np.fromiter(st_dict.keys(), dtype=np.int64, count=n)
+            vals = np.fromiter(st_dict.values(), dtype=np.int8, count=n)
+            order = np.argsort(keys)
+            lines[:n] = keys[order]
+            lsts[:n] = vals[order]
+        self._lines[cpu] = lines
+        self._lsts[cpu] = lsts
+        self._cache_versions[cpu] = l1.version
+        ms.vec_rebuilds += 1
+
+    def _snap_tables(self, pid, ker, sp, uver):
+        """(Re)build the merged translation snapshot for ``pid``."""
+        pshift = self.ms._page_shift
+        parts_v = []
+        parts_p = []
+        tables = (sp.table, ker.table) if sp is not None else (ker.table,)
+        for table in tables:
+            tn = len(table)
+            if tn:
+                v = np.fromiter(table.keys(), dtype=np.int64, count=tn)
+                p = np.fromiter(table.values(), dtype=np.int64, count=tn)
+                o = np.argsort(v)
+                parts_v.append(v[o])
+                parts_p.append(p[o])
+        parts_v.append(np.array([_SENTINEL], dtype=np.int64))
+        parts_p.append(np.zeros(1, dtype=np.int64))
+        snap = (ker.version, uver, np.concatenate(parts_v),
+                np.concatenate(parts_p) << pshift)
+        self._snaps[pid] = snap
+        return snap
+
+    # -- classification ----------------------------------------------------
+
+    def _arange(self, m):
+        """Shared int64 arange, grown on demand (hinted streams only)."""
+        ar = self._ar
+        if ar is None or ar.shape[0] < m:
+            ar = np.arange(max(m, 1024), dtype=np.int64)
+            self._ar = ar
+        return ar[:m]
+
+    def _classify(self, pid, cpu, kinds, addrs, sizes, pends, base, n,
+                  snap, key, uhint=None):
+        """Classify references [base, n) against the mirror; cache under
+        ``key``. Returns the cache-data dict (see field comments).
+
+        ``uhint`` is the producer's ``(kind, stride, work_per_ref)`` claim
+        that the whole filling is one arithmetic reference stream (see
+        EventBatch.uhint): the address array is then rebuilt from three
+        integers instead of converting the batch lists, kinds and sizes are
+        compile-time constants, and — when each reference stays within one
+        line — the issue-time chain is closed-form (constant latency,
+        constant lead-in), so cut decisions need no arrays at all."""
+        ms = self.ms
+        mfull = n - base
+        pshift = ms._page_shift
+        lsh = ms._line_shift
+        B = ms._l1_latency
+        if uhint is not None:
+            k0, stride, wpl = uhint
+            a = addrs[base] + stride * self._arange(mfull)
+            all_read = k0 == 0
+            atomic = k0 == 2
+        else:
+            a = np.array(addrs[base:n], dtype=np.int64)
+            sz = np.array(sizes[base:n], dtype=np.int64)
+            all_read = not any(kinds[base:n])
+        vpn = a >> pshift
+        pos = np.searchsorted(snap[2], vpn)
+        okt = snap[2][pos] == vpn
+        # physical address from the start-page translation only — same
+        # page-straddle semantics as the scalar walk; where okt is false
+        # the value is garbage but harmless (membership tests just fail)
+        pa = snap[3][pos] + (a & ms._page_mask)
+        line0 = pa >> lsh
+        if uhint is not None:
+            line1 = (pa + (stride - 1)) >> lsh
+        else:
+            line1 = (pa + sz - 1) >> lsh
+        lines = self._lines[cpu]
+        lsts = self._lsts[cpu]
+        pos0 = np.searchsorted(lines, line0)
+        ok = okt & (lines[pos0] == line0)
+        two_any = bool((line1 != line0).any())
+        #: hinted non-read stream: every reference writes (no rd array)
+        all_write = uhint is not None and not all_read
+        rd = st0 = st1 = pos1 = nl = None
+        if two_any:
+            nl = line1 - line0 + 1
+            pos1 = np.searchsorted(lines, line1)
+            ok &= (nl <= 2) & (lines[pos1] == line1)
+        if not all_read:
+            st0 = lsts[pos0]
+            if all_write:
+                ok &= st0 >= 2
+            else:
+                k = np.array(kinds[base:n], dtype=np.int64)
+                rd = k == 0
+                ok &= rd | (st0 >= 2)
+            if two_any:
+                st1 = lsts[pos1]
+                ok &= (st1 >= 2) if all_write else (rd | (st1 >= 2))
+        # per-reference latency + relative issue-time prefix. ``uniform``
+        # (constant latency AND constant lead-in) needs no arrays at all:
+        # issue times are t + step * x, computed in plain ints.
+        lat = prefix = None
+        step = latc = 0
+        if uhint is not None:
+            # the hint pins kind and lead-in, so single-line streams are
+            # uniform even with nonzero per-reference work
+            uniform = not two_any
+            if uniform:
+                latc = B + (4 if atomic else 0)
+                step = latc + wpl
+        else:
+            uniform = (all_read and not two_any
+                       and not any(pends[base + 1:n]))
+            if uniform:
+                latc = step = B
+        if not uniform:
+            if two_any:
+                lat = nl * B
+            else:
+                lat = np.full(mfull, B, dtype=np.int64)
+            if not all_read:
+                if all_write:
+                    if atomic:
+                        lat += 4
+                else:
+                    atom = k == 2
+                    if atom.any():
+                        lat[atom] += 4
+            prefix = np.empty(mfull, dtype=np.int64)
+            prefix[0] = 0
+            if mfull > 1:
+                if uhint is not None:
+                    np.cumsum(lat[:-1] + wpl, out=prefix[1:])
+                else:
+                    np.cumsum(lat[:-1] + np.array(pends[base + 1:n],
+                                                  dtype=np.int64),
+                              out=prefix[1:])
+        cd = {
+            "base": base, "end": n, "ok": ok, "line0": line0,
+            "two_any": two_any, "all_read": all_read,
+            "all_write": all_write, "uniform": uniform,
+            "step": step, "latc": latc,
+            "nl": nl, "rd": rd, "st0": st0, "st1": st1,
+            "pos0": pos0, "pos1": pos1, "line1": line1,
+            "lat": lat, "prefix": prefix,
+        }
+        self._ck = key
+        self._cd = cd
+        return cd
+
+    # -- the vectorized run ------------------------------------------------
+
+    def run(self, pid, cpu, kinds, addrs, sizes, pends, i, n, t,
+            limit, horizon, ext, clock, serial=None, uhint=None):
+        """Vectorized prefix of one access_run; returns the final
+        ``(consumed, i, t, added, major, ext_refs)`` tuple, or None to
+        decline the whole run (cooldown / too short / first ref not an
+        L1 fast hit) — the caller then runs the scalar loop unchanged."""
+        ms = self.ms
+        m = n - i
+        if limit < m:
+            m = limit
+        if m < MIN_RUN:
+            self.declines["short"] += 1
+            return None
+        if self._cool > 0:
+            self._cool -= 1
+            self.declines["cool"] += 1
+            return None
+
+        # resync whatever moved: the issuer's L1 mirror and the pid's
+        # merged translation snapshot are keyed on version counters
+        l1 = ms.l1s[cpu]
+        ker = ms.vmm._kernel
+        sp = ms._spaces.get(pid)
+        uver = sp.version if sp is not None else -1
+        if l1.version != self._cache_versions[cpu]:
+            self._rebuild_cache(cpu)
+        snap = self._snaps.get(pid)
+        if snap is None or snap[0] != ker.version or snap[1] != uver:
+            snap = self._snap_tables(pid, ker, sp, uver)
+
+        if uhint is not None:
+            # hinted fillings are position-independent: key on the stream's
+            # virtual index-0 address so identical re-fillings (warm passes
+            # over the same buffer) hit across batch serials
+            key = (pid, cpu, l1.version, ker.version, uver, uhint,
+                   addrs[i] - uhint[1] * i, n)
+            cd = self._cdm.get(key)
+            if cd is None or not (cd["base"] <= i < cd["end"]):
+                if len(self._cdm) > 64:
+                    self._cdm.clear()
+                cd = self._classify(pid, cpu, kinds, addrs, sizes, pends,
+                                    i, n, snap, key, uhint)
+                self._cdm[key] = cd
+        else:
+            key = (serial, pid, cpu, l1.version, ker.version, uver)
+            cd = self._cd
+            if (serial is None or key != self._ck or cd is None
+                    or not (cd["base"] <= i < cd["end"])
+                    or cd["end"] != n):
+                cd = self._classify(pid, cpu, kinds, addrs, sizes, pends,
+                                    i, n, snap, key, uhint)
+        o = i - cd["base"]
+
+        ok = cd["ok"]
+        seg = ok[o:o + m]
+        j_stop = int(seg.argmin())
+        if seg[j_stop]:
+            j_stop = m          # no False anywhere: whole run is a hit
+        elif j_stop == 0:
+            self.declines["first_miss"] += 1
+            self._fail += 1
+            if self._fail > FAIL_TOLERANCE:
+                self._cool = min(1 << self._fail, COOL_CAP)
+            return None
+
+        if ext < horizon:
+            ext = horizon
+
+        # -- lookahead cut + issue-time bookkeeping ------------------------
+        if cd["uniform"]:
+            # issue[x] = t + step*x: cuts resolve in plain integer math
+            step = cd["step"]
+            latc = cd["latc"]
+            c = j_stop
+            if t + step * (c - 1) >= ext:
+                c = -(-(ext - t) // step)   # ceil: refs with issue < ext
+                if c < 1:
+                    c = 1
+            if t + step * (c - 1) < horizon:
+                ext_refs = 0
+            else:
+                vis = -(-(horizon - t) // step)
+                if vis < 0:
+                    vis = 0
+                ext_refs = c - vis
+            last_issue = t + step * (c - 1)
+            comp = last_issue + latc
+            added = latc * c
+            tot = c
+        else:
+            prefix = cd["prefix"]
+            issue = prefix[o:o + j_stop] + (t - int(prefix[o]))
+            c = j_stop
+            cut = int(np.searchsorted(issue, ext, side="left"))
+            if cut < 1:
+                cut = 1
+            if cut < c:
+                c = cut
+            ext_refs = c - int(np.searchsorted(issue[:c], horizon,
+                                               side="left"))
+            lat = cd["lat"]
+            last_issue = int(issue[c - 1])
+            comp = last_issue + int(lat[o + c - 1])
+            added = int(lat[o:o + c].sum())
+            tot = (int(cd["nl"][o:o + c].sum()) if cd["two_any"] else c)
+
+        # -- bulk retirement ----------------------------------------------
+        l1.hits += tot
+        ms.accesses += c
+        ms.fast_hits += c
+        ms.vec_batches += 1
+        ms.vec_refs += c
+        self._fail = 0
+
+        line0 = cd["line0"]
+        # E->M upgrades (the only state change the fast path makes): flip
+        # the dicts, the inclusive L2 mirror and the array mirror; repeated
+        # flips of one line within the batch are idempotent
+        if not cd["all_read"]:
+            wr = None
+            do_flip = cd["all_write"]
+            if not do_flip:
+                rdc = cd["rd"][o:o + c]
+                if not rdc.all():
+                    wr = ~rdc
+                    do_flip = True
+            if do_flip:
+                lsts = self._lsts[cpu]
+                states = ms._l1_states[cpu]
+                l2s = (ms._l2_states[cpu]
+                       if ms._l2_states is not None else None)
+                flip0 = cd["st0"][o:o + c] == 2
+                if wr is not None:
+                    flip0 &= wr
+                if flip0.any():
+                    lsts[cd["pos0"][o:o + c][flip0]] = 3
+                    for ln in line0[o:o + c][flip0].tolist():
+                        states[ln] = 3
+                        if l2s is not None and ln in l2s:
+                            l2s[ln] = 3
+                if cd["two_any"]:
+                    sl = slice(o, o + c)
+                    flip1 = (cd["nl"][sl] == 2) & (cd["st1"][sl] == 2)
+                    if wr is not None:
+                        flip1 &= wr
+                    if flip1.any():
+                        lsts[cd["pos1"][sl][flip1]] = 3
+                        for ln in cd["line1"][sl][flip1].tolist():
+                            states[ln] = 3
+                            if l2s is not None and ln in l2s:
+                                l2s[ln] = 3
+
+        # LRU replay: final order = touched lines, most-recent-touch first,
+        # then untouched lines in their prior order — exactly what the
+        # scalar per-touch move-to-front produces. Dedupe keeps the *last*
+        # occurrence of each line (stable sort groups duplicates; the last
+        # element of each group has the highest original index).
+        if cd["two_any"]:
+            nlc = cd["nl"][o:o + c]
+            starts = np.cumsum(nlc) - nlc
+            offs = (np.arange(int(nlc.sum()), dtype=np.int64)
+                    - np.repeat(starts, nlc))
+            seq = np.repeat(line0[o:o + c], nlc) + offs
+        else:
+            seq = line0[o:o + c]
+        nseq = seq.shape[0]
+        if nseq > 1 and bool((seq[1:] >= seq[:-1]).all()):
+            # nondecreasing touch sequence (the common case: ascending
+            # scans): duplicates are consecutive, so keep each group's
+            # last element and reverse — no sort needed
+            flag = np.empty(nseq, dtype=bool)
+            np.not_equal(seq[1:], seq[:-1], out=flag[:-1])
+            flag[-1] = True
+            recent = seq[flag][::-1]
+        else:
+            order = np.argsort(seq, kind="stable")
+            ss = seq[order]
+            flag = np.empty(nseq, dtype=bool)
+            if nseq > 1:
+                np.not_equal(ss[1:], ss[:-1], out=flag[:-1])
+            flag[-1] = True
+            recent = ss[flag][np.argsort(order[flag])[::-1]]
+        sets = ms._l1_sets[cpu]
+        mask = ms._l1_set_mask
+        nsets = ms._l1_nsets
+        fronts: dict = {}
+        for ln in recent.tolist():
+            si = ln & mask if mask >= 0 else ln % nsets
+            f = fronts.get(si)
+            if f is None:
+                fronts[si] = [ln]
+            else:
+                f.append(ln)
+        for si, front in fronts.items():
+            s = sets[si]
+            if len(front) == 1:
+                ln = front[0]
+                if s[0] != ln:
+                    s.remove(ln)
+                    s.insert(0, ln)
+            elif s[:len(front)] != front:
+                members = set(front)
+                s[:] = front + [x for x in s if x not in members]
+
+        if clock is not None and last_issue > clock.now:
+            clock.now = last_issue
+
+        if c >= m or c < j_stop:
+            # run complete / budget reached, or cut by the lookahead bound
+            return c, i + c, comp, added, None, ext_refs
+        # prefix ended at a reference the mirror declined: hand the rest to
+        # the scalar loop (which re-probes the authoritative dicts — a
+        # conservative mirror decline may still be a scalar fast hit)
+        nt = comp + pends[i + c]
+        if nt >= ext:
+            return c, i + c, comp, added, None, ext_refs
+        c2, i2, t2, a2, major2, er2 = ms._access_run_scalar(
+            pid, cpu, kinds, addrs, sizes, pends, i + c, n, nt,
+            limit - c, horizon, ext, clock)
+        return c + c2, i2, t2, added + a2, major2, ext_refs + er2

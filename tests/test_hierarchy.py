@@ -104,3 +104,117 @@ def test_kernel_addresses_translate():
     ms = make()
     lat, fault = ms.access(1, 0xC100_0000, 4, True, 0, 0)
     assert fault is None and lat > 0
+
+
+# ---------------------------------------------------------------------------
+# access_run edge cases feeding the vector path
+# ---------------------------------------------------------------------------
+
+def _per_ref_mirror(ms, kinds, addrs, sizes, pends, t, cpu=0, pid=1):
+    """The engine's per-reference loop with no horizon/limit cuts —
+    the ground truth access_run must replay."""
+    added = 0
+    for j, k in enumerate(kinds):
+        if j:
+            t += pends[j]
+        lat, major = ms.access(pid, addrs[j], sizes[j], k != 0, cpu, t,
+                               atomic=(k == 2))
+        assert major is None
+        added += lat
+        t += lat
+    return added, t
+
+
+def _straddle_refs(start=0x20F00):
+    """A run crossing two 4 KiB page boundaries: per-page state (TLB
+    snapshot rows, minor-fault accounting) changes mid-run, and one
+    reference straddles the boundary itself (two lines, two pages)."""
+    kinds, addrs, sizes, pends = [], [], [], []
+    a = start
+    for j in range(40):
+        kinds.append((0, 1, 0, 2)[j % 4])
+        addrs.append(a)
+        # every 8th reference spans the line it starts in and the next
+        sizes.append(40 if j % 8 == 7 else 4)
+        pends.append(3 if j else 0)
+        a += 0x60  # 1.5 lines -> crosses 0x21000 and 0x22000 mid-run
+    return kinds, addrs, sizes, pends
+
+
+@pytest.mark.parametrize("vec", [True, False])
+def test_access_run_zero_length_and_zero_limit(vec):
+    ms = make(complex_backend(num_cpus=2, vectorized=vec))
+    kinds, addrs, sizes, pends = _straddle_refs()
+    n = len(kinds)
+    # i >= n: nothing to consume, state untouched
+    assert ms.access_run(1, 0, kinds, addrs, sizes, pends,
+                         n, n, 500, 64, 1 << 60) == (0, n, 500, 0, None, 0)
+    assert ms.access_run(1, 0, [], [], [], [], 0, 0, 500, 64,
+                         1 << 60) == (0, 0, 500, 0, None, 0)
+    # limit exhausted before the first reference
+    assert ms.access_run(1, 0, kinds, addrs, sizes, pends,
+                         0, n, 500, 0, 1 << 60) == (0, 0, 500, 0, None, 0)
+    assert ms.accesses == 0
+
+
+@pytest.mark.parametrize("vec", [True, False])
+def test_access_run_page_straddle_matches_per_ref(vec):
+    cfg = complex_backend(num_cpus=2, vectorized=vec)
+    ms_run, ms_ref = make(cfg), make(cfg)
+    kinds, addrs, sizes, pends = _straddle_refs()
+    n = len(kinds)
+    want_added, want_t = _per_ref_mirror(ms_ref, kinds, addrs, sizes,
+                                         pends, 500)
+    consumed, i, t, added, major, ext = ms_run.access_run(
+        1, 0, kinds, addrs, sizes, pends, 0, n, 500, n, 1 << 60)
+    assert (consumed, i, major, ext) == (n, n, None, 0)
+    assert (added, t) == (want_added, want_t)
+    assert ms_run.cache_summary() == ms_ref.cache_summary()
+    # a second, warm pass must agree too (vec path can now accept)
+    want_added, want_t = _per_ref_mirror(ms_ref, kinds, addrs, sizes,
+                                         pends, want_t + 1_000)
+    consumed, i, t, added, major, ext = ms_run.access_run(
+        1, 0, kinds, addrs, sizes, pends, 0, n, t + 1_000, n, 1 << 60)
+    assert (consumed, added, t) == (n, want_added, want_t)
+    assert ms_run.cache_summary() == ms_ref.cache_summary()
+
+
+@pytest.mark.parametrize("vec", [True, False])
+def test_access_run_mixed_tapped_untapped(vec):
+    """Installing a tracing tap (an instance rebinding of ``access``)
+    between runs must flip access_run to the per-reference stream for
+    exactly the tapped runs, with no effect on the simulated totals."""
+    cfg = complex_backend(num_cpus=2, vectorized=vec)
+    ms_run, ms_ref = make(cfg), make(cfg)
+    kinds, addrs, sizes, pends = _straddle_refs()
+    n = len(kinds)
+
+    t = 500
+    tref = 500
+    seen = []
+    for phase in ("untapped", "tapped", "untapped-again"):
+        if phase == "tapped":
+            real = ms_run.access
+
+            def tap(pid, vaddr, size, write, cpu, now, atomic=False):
+                seen.append((pid, vaddr, size, write, atomic))
+                return real(pid, vaddr, size, write, cpu, now,
+                            atomic=atomic)
+
+            ms_run.access = tap
+        elif phase == "untapped-again":
+            del ms_run.access
+        want_added, want_t = _per_ref_mirror(ms_ref, kinds, addrs, sizes,
+                                             pends, tref)
+        consumed, _, t2, added, major, _ = ms_run.access_run(
+            1, 0, kinds, addrs, sizes, pends, 0, n, t, n, 1 << 60)
+        assert (consumed, major) == (n, None)
+        assert (added, t2) == (want_added, want_t)
+        if phase == "tapped":
+            # the tap observed every reference of its run, in order
+            assert [(v, s) for _, v, s, _, _ in seen] == \
+                list(zip(addrs, sizes))
+        t = t2 + 1_000
+        tref = want_t + 1_000
+    assert ms_run.cache_summary() == ms_ref.cache_summary()
+    assert len(seen) == n
