@@ -71,8 +71,12 @@ loop:
 def _run_once(lookahead, passes=PASSES):
     """One 4-CPU private-heavy run; returns (host seconds, engine, stats)."""
     SimProcess._next_pid[0] = 1
+    # speculate=False: this bench isolates the *conservative* lookahead
+    # layer; the optimistic layer (on by default) would shadow both arms
+    # — it is measured against this one in bench_speculation.py
     eng = Engine(complex_backend(num_cpus=NCPUS, coherence="mesi",
-                                 num_nodes=1, lookahead=lookahead))
+                                 num_nodes=1, lookahead=lookahead,
+                                 speculate=False))
 
     def make_app(base):
         def app(p):
@@ -125,7 +129,8 @@ def _sweep_worker_batch(passes):
     for wb in SWEEP_BATCHES:
         SimProcess._next_pid[0] = 1
         eng = ParallelEngine(complex_backend(num_cpus=2, worker_lease=4,
-                                             worker_batch=wb))
+                                             worker_batch=wb,
+                                             speculate=False))
         with eng:
             for i, prog in enumerate(progs):
                 eng.spawn_worker(WorkerSpec(f"w{i}", prog))

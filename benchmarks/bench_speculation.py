@@ -1,0 +1,324 @@
+"""Optimistic speculation speedup — Time Warp windows past the rival horizon.
+
+``SimConfig.speculate`` lets the batched hot loop run *past* the
+conservative rival horizon behind a micro-checkpoint, validating after
+the fact and rolling back the (rare) violations. Unlike the conservative
+lookahead scan it does not pay a per-reference invisibility proof on the
+hot path — the window runs first and one memoized frontier walk settles
+it afterwards. Bit-identity with the strict schedule is pinned by
+tests/test_speculation_equivalence.py; this bench measures what the
+optimism buys on the configuration both layers target: a 4-CPU run where
+every CPU streams over a private, L1-resident buffer, so the strict
+path's tiny alternating batch windows are pure scheduling overhead.
+
+Writes ``BENCH_speculation.json`` at the repo root with wall-clock
+seconds and speedups for the three arms (strict serial interleaving,
+conservative lookahead, optimistic speculation), a
+``speculate_quantum`` sweep with commit/rollback rates on both the
+private-heavy and a deliberately hostile *sharing* workload, and a
+worker-tail row for the parallel engine. Asserts speculation is at
+least 3x faster than the strict interleaving (1.5x under
+``COMPASS_BENCH_QUICK=1``) and no slower than the lookahead arm.
+
+Also runs standalone for CI::
+
+    python benchmarks/bench_speculation.py --smoke
+
+Smoke mode does a single small round, hard-fails if any arm is not
+bit-identical or if speculation falls measurably behind lookahead, and
+does not overwrite the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import Engine, complex_backend                     # noqa: E402
+from repro.core.frontend import SimProcess                    # noqa: E402
+from repro.harness import render_table                        # noqa: E402
+
+QUICK = bool(os.environ.get("COMPASS_BENCH_QUICK"))
+NCPUS = 4
+NBYTES = 8192           # per-CPU buffer: L1-resident, so warm passes stay hits
+PASSES = 40 if QUICK else 150
+MIN_SPEEDUP = 1.5 if QUICK else 3.0
+#: host noise guard for the "no slower than lookahead" gate
+LA_TOLERANCE = 0.90
+SWEEP_QUANTA = (256, 1024, 4096, 16384)
+OUT_PATH = REPO_ROOT / "BENCH_speculation.json"
+
+ARMS = {
+    "serial":    dict(speculate=False, lookahead=False),
+    "lookahead": dict(speculate=False, lookahead=True),
+    "speculate": dict(speculate=True),
+}
+
+#: worker program for the parallel tail row: re-scans a private 8 KiB buffer
+HOT_PROG = """
+    li r7, 0
+    li r8, {passes}
+    li r10, 0x100000
+pass:
+    li r1, 0
+    li r2, 8192
+loop:
+    loadx r3, r10, r1, 4
+    storex r3, r10, r1, 4
+    addi r1, r1, 32
+    blt r1, r2, loop
+    addi r7, r7, 1
+    blt r7, r8, pass
+    li r3, 0
+    halt
+"""
+
+
+def _run_once(cfg_kw, passes=PASSES, shared=False):
+    """One 4-CPU run; returns (host seconds, engine, stats).
+
+    ``shared=False`` is the private-heavy target configuration; with
+    ``shared=True`` every CPU hammers the *same* buffer, so speculative
+    windows constantly cross invalidation traffic — the hostile case
+    that exercises rollback and the adaptive quantum.
+    """
+    SimProcess._next_pid[0] = 1
+    eng = Engine(complex_backend(num_cpus=NCPUS, coherence="mesi",
+                                 num_nodes=1, **cfg_kw))
+
+    def make_private(base):
+        def app(p):
+            yield from p.touch(base, NBYTES, write=True, stride=32)
+            for _ in range(passes):
+                yield from p.touch(base, NBYTES, write=True, stride=32)
+            yield from p.exit(0)
+        return app
+
+    def make_shared():
+        def app(p):
+            r = yield from p.call("shmget", 0xBEEF, NBYTES)
+            r = yield from p.call("shmat", r.value, 0xB500_0000)
+            base = r.value
+            for _ in range(passes):
+                yield from p.touch(base, NBYTES, write=True, stride=32)
+            yield from p.exit(0)
+        return app
+
+    for c in range(NCPUS):
+        eng.spawn(f"w{c}", make_shared() if shared
+                  else make_private(0x1_0000 + c * 0x10_000))
+    t0 = time.perf_counter()
+    stats = eng.run()
+    return time.perf_counter() - t0, eng, stats
+
+
+def _fingerprint(eng, stats):
+    return (stats.end_cycle, eng.events_processed,
+            tuple(sorted(eng.memsys.cache_summary()["l1"].items())),
+            dict(eng.memsys.cache_summary()["protocol"]))
+
+
+def _measure(rounds, passes=PASSES):
+    """Interleaved best-of-N for each arm so a host hiccup in any arm
+    cannot fake (or hide) a speedup. Returns {arm: (secs, eng, stats)}."""
+    best = {}
+    for _ in range(rounds):
+        for name, kw in ARMS.items():
+            secs, eng, stats = _run_once(kw, passes)
+            prev = best.get(name)
+            if prev is None or secs < prev[0]:
+                best[name] = (secs, eng, stats)
+    return best
+
+
+def _sweep_quantum(passes):
+    """Commit/rollback behaviour across starting window sizes, on the
+    target (private) and the hostile (sharing) workload.
+
+    The sweep is timing-neutral by construction — the end cycle doubles
+    as a correctness check across every knob value per workload.
+    """
+    rows = []
+    for shared in (False, True):
+        end_cycles = set()
+        for q in SWEEP_QUANTA:
+            secs, eng, stats = _run_once(
+                dict(speculate=True, speculate_quantum=q), passes, shared)
+            bs = eng.batch_stats
+            settled = bs["sp_commits"] + bs["sp_rollbacks"]
+            end_cycles.add(stats.end_cycle)
+            rows.append({
+                "workload": "sharing" if shared else "private",
+                "quantum": q, "seconds": secs,
+                "end_cycle": stats.end_cycle,
+                "windows": bs["sp_windows"],
+                "commits": bs["sp_commits"],
+                "rollbacks": bs["sp_rollbacks"],
+                "rollback_rate": (bs["sp_rollbacks"] / settled
+                                  if settled else 0.0),
+                "spec_refs": bs["sp_refs"],
+            })
+        assert len(end_cycles) == 1, \
+            f"speculate_quantum changed the simulation: {sorted(end_cycles)}"
+    return rows
+
+
+def _worker_tail_row(passes):
+    """ParallelEngine with speculative lease tails vs strict, 2 workers.
+
+    The commit/rollback split here is wall-clock dependent (verdicts race
+    real rival progress), so this row is observational — the simulated
+    end cycle is still asserted identical.
+    """
+    from repro.host import ParallelEngine, WorkerSpec
+    out = {}
+    for spec in (True, False):
+        SimProcess._next_pid[0] = 1
+        eng = ParallelEngine(complex_backend(num_cpus=2, worker_lease=4,
+                                             speculate=spec))
+        with eng:
+            for i in range(2):
+                eng.spawn_worker(
+                    WorkerSpec(f"w{i}", HOT_PROG.format(passes=passes)))
+            t0 = time.perf_counter()
+            stats = eng.run()
+            secs = time.perf_counter() - t0
+        bs = eng.batch_stats
+        out[spec] = {"seconds": secs, "end_cycle": stats.end_cycle,
+                     "windows": bs["sp_windows"],
+                     "commits": bs["sp_commits"],
+                     "rollbacks": bs["sp_rollbacks"],
+                     "lease_refs": bs["lease_refs"]}
+    assert out[True]["end_cycle"] == out[False]["end_cycle"], \
+        "worker speculation changed the simulation"
+    return {"spec_on": out[True], "spec_off": out[False]}
+
+
+def _report(best, sweep=None, tails=None, write=True):
+    fps = {name: _fingerprint(eng, stats)
+           for name, (_, eng, stats) in best.items()}
+    ref = fps["serial"]
+    bit_identical = all(fp == ref for fp in fps.values())
+    assert bit_identical, \
+        "speculation changed the simulation:\n" + \
+        "\n".join(f"  {n}: {fp}" for n, fp in fps.items())
+
+    serial_s = best["serial"][0]
+    speedups = {n: serial_s / s for n, (s, _, _) in best.items()}
+    bs = best["speculate"][1].batch_stats
+    settled = bs["sp_commits"] + bs["sp_rollbacks"]
+    rollback_rate = bs["sp_rollbacks"] / settled if settled else 0.0
+
+    print(render_table(
+        ("configuration", "host seconds", "events/s", "speedup"),
+        [(n, f"{s:.3f}", f"{eng.events_processed / s:,.0f}",
+          f"{speedups[n]:.2f}x")
+         for n, (s, eng, _) in best.items()],
+        title="\nOptimistic-speculation speedup (4-CPU private-heavy):"))
+    print(f"  windows: {bs['sp_windows']}   commits: {bs['sp_commits']}   "
+          f"rollbacks: {bs['sp_rollbacks']}   "
+          f"rollback rate: {rollback_rate:.1%}   "
+          f"speculated refs: {bs['sp_refs']}")
+    if sweep:
+        print(render_table(
+            ("workload", "quantum", "windows", "commits", "rollbacks",
+             "rollback rate", "host s"),
+            [(r["workload"], str(r["quantum"]), str(r["windows"]),
+              str(r["commits"]), str(r["rollbacks"]),
+              f"{r['rollback_rate']:.1%}", f"{r['seconds']:.3f}")
+             for r in sweep],
+            title="\nspeculate_quantum sweep:"))
+    if tails:
+        on, off = tails["spec_on"], tails["spec_off"]
+        print(f"\nworker tails (2 workers): spec {on['seconds']:.3f}s "
+              f"({on['windows']} windows, {on['commits']} commits) vs "
+              f"strict leases {off['seconds']:.3f}s — identical end cycle "
+              f"{on['end_cycle']}")
+
+    payload = {
+        "workload": f"private_heavy {NCPUS}cpu {NBYTES}B x{PASSES}",
+        "quick": QUICK,
+        "bit_identical": bit_identical,
+        "end_cycle": best["speculate"][2].end_cycle,
+        "events": best["speculate"][1].events_processed,
+        "seconds": {n: s for n, (s, _, _) in best.items()},
+        "speedup": speedups["speculate"],
+        "speedup_lookahead": speedups["lookahead"],
+        "sp_windows": bs["sp_windows"],
+        "sp_commits": bs["sp_commits"],
+        "sp_rollbacks": bs["sp_rollbacks"],
+        "rollback_rate": rollback_rate,
+        "sp_refs": bs["sp_refs"],
+        "quantum_sweep": sweep or [],
+        "worker_tails": tails or {},
+    }
+    if write:
+        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return speedups, payload
+
+
+def test_speculation_speedup(benchmark):
+    best = benchmark.pedantic(
+        lambda: _measure(2 if QUICK else 3), rounds=1, iterations=1)
+    sweep = _sweep_quantum(passes=10 if QUICK else 40)
+    tails = _worker_tail_row(passes=10 if QUICK else 40)
+    speedups, payload = _report(best, sweep, tails)
+    benchmark.extra_info.update(speedup=speedups["speculate"],
+                                rollback_rate=payload["rollback_rate"])
+    assert speedups["speculate"] >= MIN_SPEEDUP, \
+        f"speculation must be >= {MIN_SPEEDUP}x over serial " \
+        f"(got {speedups['speculate']:.2f}x)"
+    assert speedups["speculate"] >= speedups["lookahead"] * LA_TOLERANCE, \
+        f"speculation fell behind lookahead: " \
+        f"{speedups['speculate']:.2f}x vs {speedups['lookahead']:.2f}x"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="single small round: verify bit-identity across "
+                         "all three arms, report the speedups, skip the "
+                         "JSON artifact")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        # best-of-2 at 40 passes: a single 20-pass round is dominated by
+        # fixed per-window setup and too noisy for the relative gate
+        best = _measure(rounds=2, passes=40)
+        speedups, _ = _report(best, write=False)
+        # smoke gates correctness (the _report identity assert) plus the
+        # relative gate — speculation must not fall measurably behind the
+        # conservative scan it replaces; the absolute floor needs the
+        # full-size run (fixed setup costs dominate a tiny one)
+        if speedups["speculate"] < speedups["lookahead"] * LA_TOLERANCE:
+            print(f"FAIL: speculation {speedups['speculate']:.2f}x fell "
+                  f"behind lookahead {speedups['lookahead']:.2f}x",
+                  file=sys.stderr)
+            return 1
+        print(f"smoke ok: bit-identical, speculate "
+              f"{speedups['speculate']:.2f}x vs lookahead "
+              f"{speedups['lookahead']:.2f}x")
+        return 0
+    best = _measure(rounds=3)
+    sweep = _sweep_quantum(passes=40)
+    tails = _worker_tail_row(passes=40)
+    speedups, _ = _report(best, sweep, tails)
+    if speedups["speculate"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {speedups['speculate']:.2f}x < "
+              f"{MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    if speedups["speculate"] < speedups["lookahead"] * LA_TOLERANCE:
+        print(f"FAIL: speculation fell behind lookahead", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,10 @@ Each ``bench_*.py`` runs in its own pytest subprocess (pytest-benchmark
 prints its tables; benches that write ``BENCH_*.json`` refresh the copies
 at the repo root). A unified ``BENCH_summary.json`` is written at the repo
 root after the run: per-benchmark pass/fail, wall time, and the headline
-numbers (events/sec, speedup) pulled from each artifact. Usage::
+numbers (events/sec, speedup, rollback rate) pulled from each artifact.
+Any artifact reporting ``bit_identical: false`` — an optimisation that
+changed simulated results — fails the whole run, independent of the
+per-bench exit codes. Usage::
 
     python benchmarks/run_all.py              # full runs
     python benchmarks/run_all.py --quick      # COMPASS_BENCH_QUICK=1
@@ -75,6 +78,7 @@ def main(argv=None) -> int:
     artifacts = sorted(p for p in REPO_ROOT.glob("BENCH_*.json")
                        if p.name != "BENCH_summary.json")
     artifact_data = {}
+    mismatches = []
     if artifacts:
         print("artifacts:")
         for a in artifacts:
@@ -91,10 +95,19 @@ def main(argv=None) -> int:
             print("speedups:")
             for name, sp, workload in speedups:
                 print(f"  {name:28s} {sp:6.2f}x  {workload}")
+        # every perf bench must leave the simulation bit-identical; an
+        # artifact saying otherwise fails the run even if its own
+        # assertions were too loose to catch it
+        mismatches = [name for name, data in artifact_data.items()
+                      if data.get("bit_identical") is False]
+        for name in mismatches:
+            print(f"  BIT-IDENTITY MISMATCH in {name}", file=sys.stderr)
+        failed += len(mismatches)
 
     summary = {
         "quick": args.quick,
         "patterns": args.patterns,
+        "bit_identity_failures": mismatches,
         "benches": [{"name": name, "ok": rc == 0, "seconds": round(secs, 2)}
                     for name, rc, secs in results],
         "artifacts": {

@@ -23,10 +23,13 @@ left off.
 
 from .log import RecordingMemory, ReplayMemory
 from .manager import CheckpointManager, load_checkpoint, resume
+from .micro import MicroCheckpoint, SpecOverlay
 from .snapshot import collect_snapshot, install_snapshot, verify_snapshot
 
 __all__ = [
     "CheckpointManager",
+    "MicroCheckpoint",
+    "SpecOverlay",
     "RecordingMemory",
     "ReplayMemory",
     "collect_snapshot",

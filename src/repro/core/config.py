@@ -284,6 +284,23 @@ class SimConfig:
     #: windows with functional fast-forward. None = full detail (default);
     #: sampled runs are approximate — see SamplingConfig.
     sampling: Optional[SamplingConfig] = None
+    #: optimistic (Time Warp-style) speculative execution: instead of
+    #: qualifying a lookahead window against every rival up front, the
+    #: engine consumes provably-invisible references straight through to
+    #: ``horizon + speculate_quantum`` after taking a micro-checkpoint of
+    #: the issuing CPU's private state, validates the window afterwards,
+    #: and rolls only that CPU back when a rival could have intervened
+    #: (bit-identical either way — see DESIGN.md "Speculative execution").
+    #: Automatically stands down wherever leases are denied today:
+    #: checkpoint record/replay, memory taps, sampled fast-forward.
+    speculate: bool = True
+    #: speculation window length in cycles past the strict rival horizon.
+    #: 0 = auto: start from the lookahead scale and adapt — shrink on
+    #: rollback, grow on commit (the vec-path accept-based backoff shape).
+    speculate_quantum: int = 0
+    #: consecutive rollbacks tolerated before speculation disables itself
+    #: for the rest of the run (a thrash guard; 0 = never disable)
+    speculate_max_rollbacks: int = 64
 
     def validate(self) -> "SimConfig":
         if self.num_cpus <= 0:
@@ -300,6 +317,10 @@ class SimConfig:
             raise ConfigError("worker_batch must be positive")
         if self.worker_lease < 0:
             raise ConfigError("worker_lease must be >= 0")
+        if self.speculate_quantum < 0:
+            raise ConfigError("speculate_quantum must be >= 0")
+        if self.speculate_max_rollbacks < 0:
+            raise ConfigError("speculate_max_rollbacks must be >= 0")
         if self.faults is not None:
             self.faults.validate()
         if self.checkpoint_interval < 0:

@@ -54,6 +54,7 @@ from collections import deque
 from multiprocessing.connection import Connection, wait as conn_wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..checkpoint.micro import SpecOverlay
 from ..core import events as ev
 from ..core.engine import Engine
 from ..core.errors import HostError
@@ -62,6 +63,7 @@ from ..core.stats import StatsRegistry
 from ..isa.assembler import assemble
 from ..isa.interpreter import Interpreter, Machine
 from ..isa.memory import DataMemory
+from ..mem import hierarchy as _hier
 from ..mem.hierarchy import KERNEL_BASE, MemorySystem
 
 #: sentinel yielded by the proxy while its worker computes ahead
@@ -95,6 +97,25 @@ def _decode_reply(msg) -> object:
     return msg[1]
 
 
+def _finish_drain(conn: Connection, t0: int, n_mem: int, n_adv: int,
+                  n_lines: int, t1: int, li1: int, touched: dict,
+                  flips: list, ov, t: int) -> None:
+    """Send a drain result; when it carries a non-empty speculative tail,
+    block for the backend's commit/rollback verdict and re-stream the
+    buffered tail references as ordinary events on rollback (they get
+    authoritative backend timing, which — the mirror being exact — equals
+    the speculated timing, so either verdict yields identical results)."""
+    if ov is not None and (ov.n_mem or ov.n_adv):
+        conn.send(("pr", n_mem, n_adv, n_lines, t1 - t0, li1,
+                   touched, flips, ov.payload(t - t1)))
+        verdict = conn.recv()
+        if verdict[0] != "sc":
+            conn.send(("b", ov.refs))
+    else:
+        conn.send(("pr", n_mem, n_adv, n_lines, t1 - t0, li1,
+                   touched, flips, None))
+
+
 def _drain_lease(conn: Connection, gen, m, grant: tuple):
     """Consume fire-and-forget events worker-side under a granted lease.
 
@@ -105,15 +126,27 @@ def _drain_lease(conn: Connection, gen, m, grant: tuple):
     state >= EXCLUSIVE) and, when it qualifies, timed with exactly the
     fast-path latency and applied to the mirror (LRU move-to-front,
     EXCLUSIVE->MODIFIED flips). The first reference that would take the
-    slow path — or would issue at or past ``T`` — stops the drain; it is
-    returned *unconsumed* (its pending delta still in ``m.pending``) for
-    normal streaming. The drain result goes back as one ``"pr"`` message.
+    slow path — or would issue at or past the window end — stops the
+    drain; it is returned *unconsumed* (its pending delta still in
+    ``m.pending``) for normal streaming. The drain result goes back as
+    one ``"pr"`` message.
 
-    On program end (StopIteration) the ``"pr"`` is sent before the
-    exception propagates, so the exit message follows it in stream order.
+    When the grant carries a speculation window ``[T, T_spec)`` the drain
+    keeps going optimistically past ``T``: tail mutations are redirected
+    into a :class:`SpecOverlay` (the committed ``touched`` dict aliases
+    the live mirror lists, so the tail must not write through them) and
+    every tail reference is buffered. The ``"pr"`` then carries the tail
+    as a second payload and the worker blocks for the backend's
+    commit/rollback verdict (see ``_finish_drain``).
+
+    ``cap`` bounds how many events the drain may consume (0 = unbounded);
+    fast-forward sampling grants use it to stop at the sampling-window
+    boundary. On program end (StopIteration) the ``"pr"`` — and any
+    verdict exchange — happens before the exception propagates, so the
+    exit message follows in stream order.
     """
     (_, t0, T, states, sets, utable, pshift, pmask, lshift, smask,
-     nsets, l1_lat) = grant
+     nsets, l1_lat, T_spec, cap, _ff) = grant
     sget = states.get
     uget = utable.get
     t = t0
@@ -123,11 +156,15 @@ def _drain_lease(conn: Connection, gen, m, grant: tuple):
     n_mem = n_adv = n_lines = 0
     touched: dict = {}
     flips: list = []
+    left = cap if cap > 0 else (1 << 62)
+    ov = None
+    t1 = t0
+    li1 = t0
     try:
         evt = gen.send(0)
-        while True:
+        while True:         # committed window [t0, T)
             k = evt.kind
-            if k > 3:           # control event: stream it normally
+            if k > 3 or left <= 0:   # control event: stream it normally
                 break
             delta = m.pending
             nt = t + delta
@@ -138,6 +175,7 @@ def _drain_lease(conn: Connection, gen, m, grant: tuple):
                 t = nt
                 last_issue = nt
                 n_adv += 1
+                left -= 1
                 evt = gen.send(0)
                 continue
             vaddr = evt.addr
@@ -180,12 +218,161 @@ def _drain_lease(conn: Connection, gen, m, grant: tuple):
             n_mem += 1
             n_lines += nlines
             evt = gen.send(0)
+        t1 = t
+        li1 = last_issue
+        if T_spec > T:
+            # speculative tail [T, T_spec): same qualification, same
+            # timing, but mutations go into the overlay and references
+            # are buffered for re-streaming on rollback. Qualifying
+            # against the committed mirror stays exact: overlay flips
+            # only ever raise 2 -> 3, which cannot change line presence
+            # or the write predicate, and LRU order never affects the
+            # fast path.
+            ov = SpecOverlay()
+            ov.last_issue = li1
+            while True:
+                k = evt.kind
+                if k > 3 or left <= 0:
+                    break
+                delta = m.pending
+                nt = t + delta
+                if nt >= T_spec:
+                    break
+                if k == 3:
+                    m.pending = 0
+                    t = nt
+                    ov.last_issue = nt
+                    ov.n_adv += 1
+                    ov.refs.append((k, evt.addr, evt.size, delta))
+                    left -= 1
+                    evt = gen.send(0)
+                    continue
+                vaddr = evt.addr
+                if vaddr >= KERNEL_BASE:
+                    break
+                ppn = uget(vaddr >> pshift)
+                if ppn is None:
+                    break
+                paddr = (ppn << pshift) | (vaddr & pmask)
+                line = paddr >> lshift
+                size = evt.size
+                last = (paddr + (size or 1) - 1) >> lshift
+                ok = True
+                sts = []
+                l = line
+                while l <= last:
+                    st = sget(l)
+                    if st is None or (k != 0 and st < 2):
+                        ok = False
+                        break
+                    sts.append(st)
+                    l += 1
+                if not ok:
+                    break
+                nlines = last - line + 1
+                for j in range(nlines):
+                    l = line + j
+                    idx = l & smask if smask >= 0 else l % nsets
+                    s = ov.set_list(idx, sets)
+                    if s[0] != l:
+                        s.remove(l)
+                        s.insert(0, l)
+                    if k != 0 and sts[j] == 2 and l not in ov.states:
+                        ov.states[l] = 3
+                m.pending = 0
+                t = nt + l1_lat * nlines + (4 if k == 2 else 0)
+                ov.last_issue = nt
+                ov.n_mem += 1
+                ov.n_lines += nlines
+                ov.refs.append((k, vaddr, size, delta))
+                left -= 1
+                evt = gen.send(0)
     except StopIteration:
-        conn.send(("pr", n_mem, n_adv, n_lines, t - t0, last_issue,
-                   touched, flips))
+        if ov is None:
+            t1, li1 = t, last_issue
+        _finish_drain(conn, t0, n_mem, n_adv, n_lines, t1, li1,
+                      touched, flips, ov, t)
         raise
-    conn.send(("pr", n_mem, n_adv, n_lines, t - t0, last_issue,
-               touched, flips))
+    _finish_drain(conn, t0, n_mem, n_adv, n_lines, t1, li1,
+                  touched, flips, ov, t)
+    return evt
+
+
+def _drain_lease_ff(conn: Connection, gen, m, grant: tuple):
+    """Fast-forward-mode lease drain (sampling's functional warming).
+
+    Instead of an L1 mirror the grant carries the calibrated
+    constant-latency chain ``(base, frac, err0)``; the worker replicates
+    ``MemorySystem._ff_access`` exactly — translate, charge ``base``
+    cycles plus the fractional-error carry (+4 for atomics) — and buffers
+    the touched line runs so the backend can warm its caches in one bulk
+    ``_ff_warm`` fold. The first untranslated or kernel reference stops
+    the drain (those may allocate pages or fault — backend work). No
+    speculative tail: fast-forward timing has no rival-visible state to
+    speculate against, and the error accumulator makes drains singletons
+    anyway (the backend grants at most one at a time).
+    """
+    (_, t0, T, _states, _sets, utable, pshift, pmask, lshift, _smask,
+     _nsets, _l1_lat, _T_spec, cap, ff) = grant
+    base, frac, err = ff
+    uget = utable.get
+    t = t0
+    last_issue = t0
+    n_mem = n_adv = 0
+    left = cap if cap > 0 else (1 << 62)
+    line0s: list = []
+    nls: list = []
+    wrs: list = []
+    try:
+        evt = gen.send(0)
+        while True:
+            k = evt.kind
+            if k > 3 or left <= 0:
+                break
+            delta = m.pending
+            nt = t + delta
+            if nt >= T:
+                break
+            if k == 3:
+                m.pending = 0
+                t = nt
+                last_issue = nt
+                n_adv += 1
+                left -= 1
+                evt = gen.send(0)
+                continue
+            vaddr = evt.addr
+            if vaddr >= KERNEL_BASE:
+                break
+            ppn = uget(vaddr >> pshift)
+            if ppn is None:
+                break
+            paddr = (ppn << pshift) | (vaddr & pmask)
+            line = paddr >> lshift
+            size = evt.size
+            last = (paddr + (size or 1) - 1) >> lshift
+            lat = base
+            err += frac
+            if err >= 1.0:
+                err -= 1.0
+                lat += 1
+            if k == 2:
+                lat += 4
+            line0s.append(line)
+            nls.append(last - line + 1)
+            wrs.append(k != 0)
+            m.pending = 0
+            t = nt + lat
+            last_issue = nt
+            n_mem += 1
+            left -= 1
+            evt = gen.send(0)
+    except StopIteration:
+        conn.send(("pr", n_mem, n_adv, 0, t - t0, last_issue,
+                   ("ff", line0s, nls, wrs, err), [], None))
+        raise
+    conn.send(("pr", n_mem, n_adv, 0, t - t0, last_issue,
+               ("ff", line0s, nls, wrs, err), [], None))
     return evt
 
 
@@ -236,7 +423,10 @@ def _worker_main(conn: Connection, spec_name: str, program_text: str,
                         conn.send(("lr",))
                         grant = conn.recv()
                         if grant[0] == "lg":
-                            evt = _drain_lease(conn, gen, m, grant)
+                            if grant[14] is not None:
+                                evt = _drain_lease_ff(conn, gen, m, grant)
+                            else:
+                                evt = _drain_lease(conn, gen, m, grant)
                             continue
             else:
                 full_runs = 0
@@ -336,6 +526,13 @@ class ParallelEngine(Engine):
         self.batch_stats.setdefault("leases", 0)
         self.batch_stats.setdefault("lease_refs", 0)
         self.batch_stats.setdefault("lease_denied", 0)
+        self.batch_stats.setdefault("ff_leases", 0)
+        #: leases granted whose "pr" fold has not arrived yet.
+        #: Fast-forward grants must be singletons — the calibrated
+        #: latency chain threads one global fractional-error accumulator
+        #: through every reference, so only one drain may consume it at
+        #: a time — and are denied while any lease is outstanding.
+        self._lease_open = 0
         # -- worker supervision knobs ------------------------------------
         #: restarts allowed per worker before giving up with a HostError
         self.max_worker_restarts = 2
@@ -557,9 +754,11 @@ class ParallelEngine(Engine):
             # message was consumed before the crash — discard it, but
             # answer re-sent controls (and lease requests — the recorded
             # grant carries the original snapshot, so the re-run drain is
-            # deterministic) from the recorded reply log
+            # deterministic — and speculation verdicts, on which the
+            # re-drained worker blocks again) from the recorded reply log
             w.streamed += 1
-            if msg[0] in ("c", "lr"):
+            if msg[0] in ("c", "lr") or (msg[0] == "pr"
+                                         and msg[8] is not None):
                 if w.reply_cursor < len(w.control_replies):
                     enc = w.control_replies[w.reply_cursor]
                     w.reply_cursor += 1
@@ -595,7 +794,6 @@ class ParallelEngine(Engine):
         if (not self._lease_on or self._ckpt is not None
                 or ms.__class__ is not MemorySystem
                 or "access" in ms.__dict__ or not ms._fast_on
-                or ms.ff_active
                 or self._run_budget_capped
                 or p is None or p.cpu < 0 or p.kernel_mode
                 or p.pending_batches):
@@ -625,17 +823,60 @@ class ParallelEngine(Engine):
                 b += 1
             if b < T:
                 T = b
-        if T - t0 < self.lease_min_window:
-            self.batch_stats["lease_denied"] += 1
-            return ("ld",)
         cpu = p.cpu
         sp = ms._spaces.get(p.pid)
+        utable = dict(sp.table) if sp is not None else {}
+        if ms.ff_active:
+            if T - t0 < self.lease_min_window:
+                self.batch_stats["lease_denied"] += 1
+                return ("ld",)
+            # fast-forward sampling mode: grant a calibrated-latency
+            # drain instead (see _drain_lease_ff). Deny without numpy
+            # (the fold needs the bulk _ff_warm path), while any other
+            # lease is outstanding (the error accumulator is global), or
+            # when the sampling window is about to switch; ``cap`` stops
+            # the drain exactly at the window's event-count boundary.
+            sam = self._sampler
+            cap = 0
+            if sam is not None:
+                cap = sam._next_switch - self.events_processed
+            if (_hier._np is None or self._lease_open
+                    or (sam is not None and cap <= 0)):
+                self.batch_stats["lease_denied"] += 1
+                return ("ld",)
+            self._lease_open += 1
+            return ("lg", t0, T, {}, [], utable,
+                    ms._page_shift, ms._page_mask, ms._line_shift,
+                    ms._l1_set_mask, ms._l1_nsets, ms._l1_latency,
+                    T, cap, (ms._ff_base, ms._ff_frac, ms._ff_err))
+        T_spec = T
+        if self._spec_on:
+            # optimistic tail: let the worker keep pre-timing past T into
+            # [T, T_spec); the fold validates post-hoc against what the
+            # rivals actually streamed in the meantime and rolls the tail
+            # back if one could have intervened. Capped by the next
+            # backend task and the run bound — crossing either would
+            # guarantee a rollback.
+            T_spec = T + self._spec_quantum
+            if t_task is not None and t_task < T_spec:
+                T_spec = t_task
+            if self._run_until < T_spec:
+                T_spec = self._run_until
+        if T_spec - t0 < self.lease_min_window:
+            # too small even with the optimistic tail: this is where the
+            # conservative-only leases stall on symmetric workloads —
+            # rival bounds sit a few dozen cycles out — and exactly what
+            # speculation exists to break through
+            self.batch_stats["lease_denied"] += 1
+            return ("ld",)
+        self._lease_open += 1
         return ("lg", t0, T,
                 dict(ms._l1_states[cpu]),
                 [list(s) for s in ms._l1_sets[cpu]],
-                dict(sp.table) if sp is not None else {},
+                utable,
                 ms._page_shift, ms._page_mask, ms._line_shift,
-                ms._l1_set_mask, ms._l1_nsets, ms._l1_latency)
+                ms._l1_set_mask, ms._l1_nsets, ms._l1_latency,
+                T_spec, 0, None)
 
     def _apply_pretimed(self, w: _Worker, msg: tuple) -> None:
         """Fold a worker's ``"pr"`` drain result into the backend.
@@ -645,24 +886,112 @@ class ParallelEngine(Engine):
         EXCLUSIVE->MODIFIED flips (mirrored into the inclusive L2) and
         the commutative hit/access counters — exactly what the strict
         engine would have produced processing them one event at a time.
+        A fast-forward drain (``touched`` is a tagged tuple) folds
+        through the bulk ``_ff_warm`` path instead.
+
+        A speculative tail rides in ``spec``: it is validated *now* —
+        the Time Warp commit point — against everything the rivals have
+        streamed since the grant, and the commit/rollback verdict is
+        sent back to the worker blocked on it. Either verdict yields
+        bit-identical simulated results (a rolled-back tail is
+        re-streamed and re-timed to the same values), so the wall-clock
+        dependence of the verdict is observability-only.
         """
-        _, n_mem, n_adv, n_lines, advance, last_issue, touched, flips = msg
+        (_, n_mem, n_adv, n_lines, advance, last_issue, touched, flips,
+         spec) = msg
         p = w.proc
         ms = self.memsys
         cpu = p.cpu
-        sets = ms._l1_sets[cpu]
-        for idx, lst in touched.items():
-            sets[idx][:] = lst
-        states = ms._l1_states[cpu]
-        l2s = ms._l2_states[cpu] if ms._l2_states is not None else None
-        for line in flips:
-            states[line] = 3
-            if l2s is not None and line in l2s:
-                l2s[line] = 3
-        ms.l1s[cpu].hits += n_lines
-        ms.accesses += n_mem
-        ms.fast_hits += n_mem
+        bs = self.batch_stats
+        if self._lease_open:
+            self._lease_open -= 1
+        if isinstance(touched, tuple):      # fast-forward-mode drain
+            _tag, line0s, nls, wrs, err = touched
+            if n_mem:
+                np_ = _hier._np
+                ms._ff_warm(cpu, np_.array(line0s, dtype=np_.int64),
+                            np_.array(nls, dtype=np_.int64),
+                            np_.array(wrs, dtype=bool))
+                ms.accesses += n_mem
+                ms.ff_refs += n_mem
+                ms._ff_err = err
+            bs["ff_leases"] += 1
+        else:
+            sets = ms._l1_sets[cpu]
+            for idx, lst in touched.items():
+                sets[idx][:] = lst
+            states = ms._l1_states[cpu]
+            l2s = ms._l2_states[cpu] if ms._l2_states is not None else None
+            for line in flips:
+                states[line] = 3
+                if l2s is not None and line in l2s:
+                    l2s[line] = 3
+            ms.l1s[cpu].hits += n_lines
+            ms.accesses += n_mem
+            ms.fast_hits += n_mem
+            bs["leases"] += 1
+        bs["lease_refs"] += n_mem
         n = n_mem + n_adv
+        if spec is not None:
+            (n2_mem, n2_adv, n2_lines, advance2, last_issue2, touched2,
+             flips2) = spec
+            bs["sp_windows"] += 1
+            end2 = p.vtime + p.clock.pending + advance + advance2
+            ok = self._spec_verdict(p, end2)
+            enc = ("sc",) if ok else ("sv",)
+            # record before sending, exactly like control replies: a
+            # restarted worker re-blocks on the replayed "pr" and must
+            # get the original verdict back
+            if w.restartable:
+                w.control_replies.append(enc)
+                if (len(w.control_replies) > self.replay_log_limit
+                        and w.streamed >= w.skip):
+                    w.restartable = False
+                    w.control_replies.clear()
+                    w.reply_cursor = 0
+            if w.streamed >= w.skip:
+                try:
+                    w.conn.send(enc)
+                except (BrokenPipeError, OSError):
+                    self._worker_failed(
+                        w, "pipe closed while sending a speculation "
+                           "verdict")
+            if ok:
+                sets = ms._l1_sets[cpu]
+                for idx, lst in touched2.items():
+                    sets[idx][:] = lst
+                states = ms._l1_states[cpu]
+                l2s = (ms._l2_states[cpu]
+                       if ms._l2_states is not None else None)
+                for line in flips2:
+                    states[line] = 3
+                    if l2s is not None and line in l2s:
+                        l2s[line] = 3
+                ms.l1s[cpu].hits += n2_lines
+                ms.accesses += n2_mem
+                ms.fast_hits += n2_mem
+                n += n2_mem + n2_adv
+                advance += advance2
+                last_issue = last_issue2
+                bs["sp_commits"] += 1
+                bs["sp_refs"] += n2_mem
+                bs["lease_refs"] += n2_mem
+                self._spec_row = 0
+                q2 = self._spec_quantum << 1
+                if q2 <= self._spec_quantum_max:
+                    self._spec_quantum = q2
+            else:
+                # the tail comes back as ordinary events ("b") right
+                # after the worker sees the verdict; shrink the window
+                # and stand down after too many consecutive misses
+                bs["sp_rollbacks"] += 1
+                q2 = self._spec_quantum >> 1
+                if q2 >= self._spec_quantum_min:
+                    self._spec_quantum = q2
+                self._spec_row += 1
+                if (self._spec_max_rollbacks
+                        and self._spec_row >= self._spec_max_rollbacks):
+                    self._spec_on = False
         if n:
             # materialise the drained span into virtual time directly (not
             # clock.pending): the program may exit before another event, and
@@ -677,9 +1006,133 @@ class ParallelEngine(Engine):
             self._last_progress = last_issue
         self.events_processed += n
         self._pretimed += n
-        bs = self.batch_stats
-        bs["leases"] += 1
-        bs["lease_refs"] += n_mem
+
+    def _spec_verdict(self, p: SimProcess, end2: int) -> bool:
+        """Validate a worker's speculative tail at fold time.
+
+        This is the Time Warp commit test: the tail holds iff no backend
+        task and no rival action can be ordered before its completion
+        ``end2`` (with the usual pid tie-break). Rival *parked* events
+        are frozen since the grant — the run loop blocks on the leased
+        worker, so nothing else has been processed — but rival pipes
+        kept delivering in wall-clock time; polling them first and
+        walking the queued streams is exactly the information gain that
+        lets optimistic windows commit where the conservative grant-time
+        bound had to stop.
+        """
+        t_task = self.gsched.next_time()
+        if t_task is not None and t_task < end2:
+            return False
+        self._poll_pipes()
+        pid = p.pid
+        for q in self.comm.running():
+            if q is p:
+                continue
+            b = self._rival_stream_bound(q, end2)
+            if pid < q.pid:
+                b += 1
+            if b < end2:
+                return False
+        return True
+
+    def _rival_stream_bound(self, q: SimProcess, cap: int) -> int:
+        """Earliest cycle at which rival ``q`` could act *non-invisibly*,
+        walking its parked event and then its queued stream.
+
+        The walk mirrors ``Engine._invisible_bound`` per reference
+        (pending deliveries stop it; loads/stores are qualified with a
+        read-only fast-path probe; ADVANCE poll points are pure time —
+        the caller has already bounded every flag-setting channel) and
+        additionally consumes the rival's already-delivered-but-unfolded
+        message queue, clamped at ``cap``. Every stop case returns a
+        cycle the strict engine could not order before.
+        """
+        t = q.vtime + q.clock.pending
+        e = q.port_event
+        if e is not None:
+            t = e.time
+        if q.cpu < 0:
+            return t
+        cs = self.comm.cpus[q.cpu]
+        if ((cs.irq_pending and cs.irq_enabled and q.intr_enabled
+                and q.mode != "interrupt")
+                or (not q.kernel_mode and self.signals.has_pending(q.pid))
+                or q.preempt_pending):
+            return t
+        ms = self.memsys
+        if e is not None:
+            kind = e.kind
+            if kind == 9:
+                return ms.invisible_until(e.pid, q.cpu, e, cap)
+            if kind > 3:
+                return t
+            if kind != 3:
+                lat = ms.ref_invisible_latency(q.pid, q.cpu, kind,
+                                               e.addr, e.size)
+                if lat < 0:
+                    return t
+                t += lat
+            if t >= cap:
+                return cap
+        w = self._workers.get(q.pid)
+        if w is None:
+            return t
+        for msg in w.queue:
+            tag = msg[0]
+            if tag == "m":
+                issue = t + msg[4]
+                if issue >= cap:
+                    return cap
+                kind = msg[1]
+                if kind == 3:
+                    t = issue
+                    continue
+                lat = ms.ref_invisible_latency(q.pid, q.cpu, kind,
+                                               msg[2], msg[3])
+                if lat < 0:
+                    return issue
+                t = issue + lat
+            elif tag == "c":
+                return t + msg[5]
+            elif tag == "exit":
+                return t + msg[2]
+            elif tag == "pr" and msg[8] is None:
+                # a queued conservative drain result: all fast-path
+                # full hits (invisible), spanning ``advance`` cycles
+                t += msg[4]
+            else:
+                return t
+        return t
+
+    def _poll_pipes(self) -> None:
+        """Drain every ready worker pipe into its queue *without*
+        re-stepping any proxy (safe to call from inside a proxy step,
+        unlike ``_harvest``)."""
+        by_conn = {w.conn: w for w in self._workers.values()
+                   if w.alive and w.conn is not None}
+        if not by_conn:
+            return
+        ready = conn_wait(list(by_conn), timeout=0)
+        for c in ready:
+            w = by_conn.get(c)
+            if w is None or not w.alive or w.conn is not c:
+                continue
+            try:
+                while c.poll():
+                    msg = c.recv()
+                    if msg[0] == "b":
+                        ok = True
+                        for kind, addr, size, delta in msg[1]:
+                            if not self._ingest(w, ("m", kind, addr, size,
+                                                    delta)):
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                    elif not self._ingest(w, msg):
+                        break
+            except (EOFError, OSError):
+                self._worker_failed(w, "worker pipe closed unexpectedly")
 
     # -- supervision ---------------------------------------------------------
 

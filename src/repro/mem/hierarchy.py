@@ -338,6 +338,102 @@ class MemorySystem:
                 return cap
             t = nt
 
+    def invisible_frontier(self, pid: int, cpu: int, batch, cap: int,
+                           memo: dict) -> int:
+        """Memoized :meth:`invisible_until`: resume the walk per filling.
+
+        Speculative validation re-qualifies the same rival batches window
+        after window with growing caps, so the O(refs) walk is amortised by
+        resuming from where the previous one stopped. A memo entry
+        ``memo[pid] = [serial, l1_version, kernel_version, space_version,
+        i, t, final]`` is sound to resume because every mutation that can
+        *revoke* an invisibility right bumps one of the versions
+        (``Cache.version`` on fills/invalidations/state changes/restores,
+        ``_Space.version`` on map/unmap) — mutations that only *add* rights
+        merely leave the memoised bound too small, which can only cause an
+        unnecessary rollback, never a wrong commit. Pending-delivery flags
+        are the caller's job (checked fresh on every validation, never
+        memoised). ``final`` is the filling's walk-independent stopping
+        bound (first slow reference's issue time, or batch completion) —
+        once known, later validations are O(1) until a version moves.
+        """
+        t = batch.time
+        if not self._fast_on or self.ff_active or "access" in self.__dict__:
+            return t
+        l1v = self.l1s[cpu].version
+        kv = self.vmm._kernel.version
+        sp = self._spaces.get(pid)
+        spv = sp.version if sp is not None else -1
+        serial = batch.serial
+        i = batch.cursor
+        ent = memo.get(pid)
+        if (ent is not None and ent[0] == serial and ent[1] == l1v
+                and ent[2] == kv and ent[3] == spv and ent[4] >= i):
+            final = ent[6]
+            if final is not None:
+                return final
+            if ent[5] >= cap:
+                return cap
+            i = ent[4]
+            t = ent[5]
+        else:
+            ent = [serial, l1v, kv, spv, i, t, None]
+            memo[pid] = ent
+        kbase = KERNEL_BASE
+        ktable_get = self._kernel_table.get
+        utable_get = sp.table.get if sp is not None else None
+        pshift = self._page_shift
+        pmask = self._page_mask
+        shift = self._line_shift
+        states_get = self._l1_states[cpu].get
+        l1_lat = self._l1_latency
+        kinds = batch.kinds
+        addrs = batch.addrs
+        sizes = batch.sizes
+        pends = batch.pendings
+        n = batch.n
+        while True:
+            vaddr = addrs[i]
+            k = kinds[i]
+            if vaddr >= kbase:
+                ppn = ktable_get(vaddr >> pshift)
+            elif utable_get is not None:
+                ppn = utable_get(vaddr >> pshift)
+            else:
+                ppn = None
+            if ppn is None:
+                ent[6] = t
+                return t
+            paddr = (ppn << pshift) | (vaddr & pmask)
+            line = paddr >> shift
+            last = (paddr + (sizes[i] or 1) - 1) >> shift
+            nlines = 0
+            ok = True
+            while line <= last:
+                st = states_get(line)
+                if st is None or (k != 0 and st < _EXCLUSIVE):
+                    ok = False
+                    break
+                line += 1
+                nlines += 1
+            if not ok:
+                ent[6] = t
+                return t
+            lat = l1_lat * nlines
+            if k == 2:
+                lat += 4
+            t += lat
+            i += 1
+            if i >= n:
+                ent[6] = t
+                return t
+            nt = t + pends[i]
+            if nt >= cap:
+                ent[4] = i
+                ent[5] = nt
+                return cap
+            t = nt
+
     # ------------------------------------------------------------------
 
     def access_run(self, pid: int, cpu: int, kinds: list, addrs: list,
@@ -403,7 +499,7 @@ class MemorySystem:
             # sampled fast-forward window: functional warming, constant
             # calibrated latency, strict horizon (no lookahead extension)
             return self._ff_run(pid, cpu, kinds, addrs, sizes, pends,
-                                i, n, t, limit, horizon, clock)
+                                i, n, t, limit, horizon, clock, uhint)
         if self._vec is not None:
             return self.access_run_vec(pid, cpu, kinds, addrs, sizes, pends,
                                        i, n, t, limit, horizon, ext, clock,
@@ -641,12 +737,19 @@ class MemorySystem:
 
     def _ff_run(self, pid: int, cpu: int, kinds: list, addrs: list,
                 sizes: list, pends: list, i: int, n: int, t: int,
-                limit: int, horizon: int, clock=None):
+                limit: int, horizon: int, clock=None, uhint=None):
         """Batched fast-forward: translation + warming + the calibrated
         latency chain in array ops, falling back to :meth:`_ff_access` for
         short tails and references whose page is not yet translated (those
         may allocate or major-fault). Ignores the lookahead extension: ff
-        timing is synthetic, so no invisibility argument applies."""
+        timing is synthetic, so no invisibility argument applies.
+
+        ``uhint = (kind, stride, work_per_line)`` is the producer's claim
+        that the whole filling is one arithmetic stream (uniform kind and
+        size == stride, addrs[i] = addrs[0] + stride*i, interior pendings
+        == work_per_line — frontends void the hint on any ragged filling).
+        It lets the hot window synthesize the address/latency arrays in
+        closed form instead of converting the python lists."""
         np_ = _np
         consumed = 0
         added = 0
@@ -679,7 +782,10 @@ class MemorySystem:
                     if nt >= horizon:
                         return consumed, i, t, added, None, 0
                     t = nt
-            a = np_.array(addrs[i:i + m], dtype=np_.int64)
+            if uhint is not None:
+                a = addrs[i] + uhint[1] * np_.arange(m, dtype=np_.int64)
+            else:
+                a = np_.array(addrs[i:i + m], dtype=np_.int64)
             vpn = a >> pshift
             uv, inv = np_.unique(vpn, return_inverse=True)
             sp = self._spaces.get(pid)
@@ -713,12 +819,16 @@ class MemorySystem:
                     return consumed, i, t, added, None, 0
                 t = nt
                 continue
-            k = np_.array(kinds[i:i + seg], dtype=np_.int64)
-            sz = np_.array(sizes[i:i + seg], dtype=np_.int64)
-            paddr = (ppn[:seg] << pshift) | (a[:seg] & self._page_mask)
             shift = self._line_shift
+            paddr = (ppn[:seg] << pshift) | (a[:seg] & self._page_mask)
             line0 = paddr >> shift
-            line1 = (paddr + np_.maximum(sz, 1) - 1) >> shift
+            if uhint is not None:
+                k0, stride, wpl = uhint
+                line1 = (paddr + ((stride or 1) - 1)) >> shift
+            else:
+                k = np_.array(kinds[i:i + seg], dtype=np_.int64)
+                sz = np_.array(sizes[i:i + seg], dtype=np_.int64)
+                line1 = (paddr + np_.maximum(sz, 1) - 1) >> shift
             nl = line1 - line0 + 1
             lat = np_.full(seg, self._ff_base, dtype=np_.int64)
             fr = self._ff_frac
@@ -727,10 +837,17 @@ class MemorySystem:
                 grid = np_.floor(e0 + fr * np_.arange(1, seg + 1))
                 lat += np_.diff(np_.concatenate(([0.0], grid))
                                 ).astype(np_.int64)
-            lat[k == 2] += 4
+            if uhint is not None:
+                if k0 == 2:
+                    lat += 4
+            else:
+                lat[k == 2] += 4
             if seg > 1:
-                steps = lat[:-1] + np_.array(pends[i + 1:i + seg],
-                                             dtype=np_.int64)
+                if uhint is not None:
+                    steps = lat[:-1] + wpl
+                else:
+                    steps = lat[:-1] + np_.array(pends[i + 1:i + seg],
+                                                 dtype=np_.int64)
                 issue = np_.empty(seg, dtype=np_.int64)
                 issue[0] = 0
                 np_.cumsum(steps, out=issue[1:])
@@ -743,7 +860,9 @@ class MemorySystem:
                 cut = 1
             if cut < c:
                 c = cut
-            self._ff_warm(cpu, line0[:c], nl[:c], k[:c] != 0)
+            wr = (np_.full(c, k0 != 0, dtype=bool) if uhint is not None
+                  else (k[:c] != 0))
+            self._ff_warm(cpu, line0[:c], nl[:c], wr)
             self.accesses += c
             self.ff_refs += c
             if fr > 0.0:

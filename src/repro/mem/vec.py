@@ -115,6 +115,23 @@ class VecState:
         self._cache_versions[cpu] = l1.version
         ms.vec_rebuilds += 1
 
+    def on_rollback(self, cpu: int) -> None:
+        """Invalidate the mirror for ``cpu`` after a speculative rollback.
+
+        The caller restored the authoritative L1 dicts in place and bumped
+        ``Cache.version``; the bump alone forces a lazy resync, but the
+        rolled-back window may have flipped states inside ``_lsts[cpu]``
+        *in place*, so drop the mirror eagerly rather than keep a stale
+        array alive, and drop classification entries keyed against the
+        dead version so the bounded caches are not wasted on them.
+        """
+        self._cache_versions[cpu] = -1
+        self._lines[cpu] = None
+        self._lsts[cpu] = None
+        self._ck = None
+        self._cd = None
+        self._cdm.clear()
+
     def _snap_tables(self, pid, ker, sp, uver):
         """(Re)build the merged translation snapshot for ``pid``."""
         pshift = self.ms._page_shift

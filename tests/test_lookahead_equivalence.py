@@ -72,6 +72,10 @@ def _snapshot(eng, stats):
 
 
 def _run_inline(build, faults=None, **cfg_kw):
+    # this suite isolates the *conservative* lookahead layers; the
+    # optimistic speculation layer (on by default, tested in
+    # test_speculation_equivalence.py) would shadow them
+    cfg_kw.setdefault("speculate", False)
     SimProcess._next_pid[0] = 1
     eng = build(lambda **kw: complex_backend(faults=faults, **cfg_kw, **kw))
     stats = eng.run()
@@ -213,6 +217,7 @@ def test_checkpoint_resume_with_lookahead_on(tmp_path):
 # ---------------------------------------------------------------------------
 
 def _run_parallel(nworkers=1, prog=HOT_PROG, **cfg_kw):
+    cfg_kw.setdefault("speculate", False)
     SimProcess._next_pid[0] = 1
     eng = ParallelEngine(complex_backend(num_cpus=max(nworkers, 1),
                                          **cfg_kw))
@@ -226,6 +231,7 @@ def _run_parallel(nworkers=1, prog=HOT_PROG, **cfg_kw):
 def _run_inline_isa(nworkers=1, prog=HOT_PROG, **cfg_kw):
     from repro.isa import Interpreter, Machine, assemble
     from repro.isa.memory import DataMemory
+    cfg_kw.setdefault("speculate", False)
     SimProcess._next_pid[0] = 1
     eng = Engine(complex_backend(num_cpus=max(nworkers, 1), **cfg_kw))
     for i in range(nworkers):
