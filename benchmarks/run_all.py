@@ -14,6 +14,12 @@ per-bench exit codes. Usage::
     python benchmarks/run_all.py --quick      # COMPASS_BENCH_QUICK=1
     python benchmarks/run_all.py fastpath     # only bench_fastpath.py
 
+The summary is (re)written after *every* benchmark, marked
+``"complete": false`` until the last one finishes — a crashed or
+interrupted run leaves a partial ``BENCH_summary.json`` covering the
+benches that did complete (and exits non-zero) instead of losing the
+already-collected artifacts.
+
 Exits non-zero if any bench fails.
 """
 
@@ -60,14 +66,27 @@ def main(argv=None) -> int:
         env["COMPASS_BENCH_QUICK"] = "1"
 
     results = []
-    for bench in benches:
-        print(f"\n=== {bench.name} ===", flush=True)
-        t0 = time.perf_counter()
-        rc = subprocess.call(
-            [sys.executable, "-m", "pytest", "-q", str(bench),
-             "-p", "no:cacheprovider"],
-            cwd=REPO_ROOT, env=env)
-        results.append((bench.name, rc, time.perf_counter() - t0))
+    try:
+        for bench in benches:
+            print(f"\n=== {bench.name} ===", flush=True)
+            t0 = time.perf_counter()
+            rc = subprocess.call(
+                [sys.executable, "-m", "pytest", "-q", str(bench),
+                 "-p", "no:cacheprovider"],
+                cwd=REPO_ROOT, env=env)
+            results.append((bench.name, rc, time.perf_counter() - t0))
+            # checkpoint the summary after every bench: a later crash
+            # must not lose the artifacts already collected
+            write_summary(args, results, complete=False)
+    except BaseException as exc:   # Ctrl-C, OOM kill of a child, bugs
+        write_summary(args, results, complete=False,
+                      interrupted=f"{type(exc).__name__}: {exc}")
+        print(f"\ninterrupted after {len(results)}/{len(benches)} "
+              f"benches; partial BENCH_summary.json written",
+              file=sys.stderr)
+        if isinstance(exc, KeyboardInterrupt):
+            return 130
+        raise
 
     print("\n=== summary ===")
     failed = 0
@@ -75,19 +94,37 @@ def main(argv=None) -> int:
         status = "ok" if rc == 0 else f"FAILED (rc={rc})"
         print(f"  {name:40s} {status:14s} {secs:7.1f}s")
         failed += rc != 0
+    artifact_data = collect_artifacts(verbose=True)
+    # every perf bench must leave the simulation bit-identical; an
+    # artifact saying otherwise fails the run even if its own
+    # assertions were too loose to catch it
+    mismatches = [name for name, data in artifact_data.items()
+                  if data.get("bit_identical") is False]
+    for name in mismatches:
+        print(f"  BIT-IDENTITY MISMATCH in {name}", file=sys.stderr)
+    failed += len(mismatches)
+
+    out = write_summary(args, results, complete=True)
+    print(f"wrote {out.name}")
+    return 1 if failed else 0
+
+
+def collect_artifacts(verbose=False):
     artifacts = sorted(p for p in REPO_ROOT.glob("BENCH_*.json")
                        if p.name != "BENCH_summary.json")
     artifact_data = {}
-    mismatches = []
-    if artifacts:
+    if artifacts and verbose:
         print("artifacts:")
-        for a in artifacts:
-            try:
-                artifact_data[a.name] = json.loads(a.read_text())
-                keys = ", ".join(sorted(artifact_data[a.name])[:6])
-            except (OSError, ValueError):
-                keys = "<unreadable>"
+    for a in artifacts:
+        try:
+            artifact_data[a.name] = json.loads(a.read_text())
+            keys = ", ".join(sorted(artifact_data[a.name])[:6])
+        except (OSError, ValueError):
+            keys = "<unreadable>"
+            continue
+        if verbose:
             print(f"  {a.name}: {keys}")
+    if verbose:
         speedups = [(name, data["speedup"], data.get("workload", ""))
                     for name, data in artifact_data.items()
                     if isinstance(data.get("speedup"), (int, float))]
@@ -95,19 +132,19 @@ def main(argv=None) -> int:
             print("speedups:")
             for name, sp, workload in speedups:
                 print(f"  {name:28s} {sp:6.2f}x  {workload}")
-        # every perf bench must leave the simulation bit-identical; an
-        # artifact saying otherwise fails the run even if its own
-        # assertions were too loose to catch it
-        mismatches = [name for name, data in artifact_data.items()
-                      if data.get("bit_identical") is False]
-        for name in mismatches:
-            print(f"  BIT-IDENTITY MISMATCH in {name}", file=sys.stderr)
-        failed += len(mismatches)
+    return artifact_data
 
+
+def write_summary(args, results, complete, interrupted=None):
+    """Write BENCH_summary.json covering the benches finished so far."""
+    artifact_data = collect_artifacts()
     summary = {
         "quick": args.quick,
         "patterns": args.patterns,
-        "bit_identity_failures": mismatches,
+        "complete": complete,
+        "bit_identity_failures": [
+            name for name, data in artifact_data.items()
+            if data.get("bit_identical") is False],
         "benches": [{"name": name, "ok": rc == 0, "seconds": round(secs, 2)}
                     for name, rc, secs in results],
         "artifacts": {
@@ -119,10 +156,11 @@ def main(argv=None) -> int:
             for name, data in artifact_data.items()
         },
     }
+    if interrupted is not None:
+        summary["interrupted"] = interrupted
     out = REPO_ROOT / "BENCH_summary.json"
     out.write_text(json.dumps(summary, indent=2) + "\n")
-    print(f"wrote {out.name}")
-    return 1 if failed else 0
+    return out
 
 
 if __name__ == "__main__":

@@ -1,70 +1,17 @@
 """Shared workload builders for the benchmark harness.
 
-Each benchmark regenerates one of the paper's tables (or an ablation) and
-prints the reproduced rows next to the paper's numbers. Workloads are scaled
-to keep the full bench suite in minutes; EXPERIMENTS.md records a
-larger-scale run.
+The builders themselves moved to :mod:`repro.service.workloads` (the
+control plane, golden fleet, and benches now share one registry); this
+module re-exports them under their historical names. Each benchmark
+regenerates one of the paper's tables (or an ablation) and prints the
+reproduced rows next to the paper's numbers; workloads are scaled to keep
+the full bench suite in minutes — EXPERIMENTS.md records a larger-scale
+run.
 """
 
 from __future__ import annotations
 
-import pytest
+from repro.service.workloads import (build_tpcc_run, build_tpcd_run,
+                                     build_web_run)
 
-from repro import Engine, complex_backend, simple_backend
-from repro.apps.minidb import (MiniDb, TpccDriver, TpcdDriver, tpcc_catalog,
-                               tpcd_catalog)
-from repro.apps.webserver import (TracePlayer, generate_fileset, make_trace,
-                                  prefork_web_server)
-
-
-def build_web_run(nrequests=20, nworkers=3, nclients=4, size_scale=0.25):
-    """SPECWeb-like run ready to go: returns (engine, finisher)."""
-    eng = Engine(complex_backend(num_cpus=4, coherence="mesi", num_nodes=1))
-    fset = generate_fileset(eng.os_server.fs, ndirs=1, size_scale=size_scale)
-    trace = make_trace(fset, nrequests=nrequests, seed=3)
-    workers, wstats = prefork_web_server(eng, nworkers=nworkers)
-    player = TracePlayer(eng, trace, fset, nclients=nclients,
-                         nworkers_to_quit=nworkers)
-    player.start()
-
-    def finish():
-        stats = eng.run()
-        assert player.completed == nrequests
-        return stats
-
-    return eng, finish
-
-
-def build_tpcd_run(scale=0.0003, nagents=4, io="read", cfg=None,
-                   pool_frames=64):
-    eng = Engine(cfg if cfg is not None else complex_backend(num_cpus=4))
-    cat = tpcd_catalog(scale=scale)
-    db = MiniDb(eng, cat, pool_frames=pool_frames)
-    db.setup()
-    drv = TpcdDriver(db, nagents=nagents, io=io)
-    drv.spawn_q1(eng)
-
-    def finish():
-        stats = eng.run()
-        assert drv.result is not None
-        return stats
-
-    return eng, db, drv, finish
-
-
-def build_tpcc_run(scale=0.01, nagents=4, tx=6, cfg=None, pool_frames=48,
-                   seed=11):
-    eng = Engine(cfg if cfg is not None else complex_backend(num_cpus=4))
-    cat = tpcc_catalog(warehouses=1, scale=scale)
-    db = MiniDb(eng, cat, pool_frames=pool_frames, seed=seed)
-    db.setup()
-    drv = TpccDriver(db, nagents=nagents, tx_per_agent=tx, seed=seed,
-                     think_cycles=10_000)
-    drv.spawn_agents(eng)
-
-    def finish():
-        stats = eng.run()
-        assert drv.committed == nagents * tx
-        return stats
-
-    return eng, db, drv, finish
+__all__ = ["build_web_run", "build_tpcd_run", "build_tpcc_run"]

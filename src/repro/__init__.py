@@ -39,6 +39,21 @@ from .core.frontend import Proc, ProcState, SimProcess, WaitToken
 from .core.stats import StatsRegistry
 from .faults import FaultPlan, FaultRule
 
+#: control-plane symbols resolved lazily (the service package pulls in the
+#: app workloads; plain `import repro` must stay light)
+_SERVICE_EXPORTS = {
+    "SimulatorAdapter", "make_config_factory", "JobSpec", "JobRecord",
+    "JobState", "JobQueue", "JobRunner", "run_matrix", "WORKLOADS",
+}
+
+
+def __getattr__(name):
+    if name in _SERVICE_EXPORTS:
+        from . import service
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -78,5 +93,14 @@ __all__ = [
     "ReplayDivergence",
     "SchedulerError",
     "SimulatedCrash",
+    "SimulatorAdapter",
+    "make_config_factory",
+    "JobSpec",
+    "JobRecord",
+    "JobState",
+    "JobQueue",
+    "JobRunner",
+    "run_matrix",
+    "WORKLOADS",
     "__version__",
 ]

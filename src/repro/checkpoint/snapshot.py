@@ -17,7 +17,7 @@ from ..core.errors import ReplayDivergence
 
 #: components replay does not rebuild: installed from the snapshot, never
 #: compared against the replayed run
-_INSTALL_ONLY = ("memsys", "faults")
+_INSTALL_ONLY = ("memsys", "faults", "sampler")
 
 
 def collect_snapshot(engine) -> Dict[str, Any]:
@@ -36,6 +36,10 @@ def collect_snapshot(engine) -> Dict[str, Any]:
         "disk": engine.disk.state_dict(),
         "nic": engine.nic.state_dict(),
         "os_server": engine.os_server.state_dict(),
+        # the sampling controller stands down during replay, so its window
+        # schedule position is install-only state, like the memory system
+        "sampler": (engine._sampler.state_dict()
+                    if engine._sampler is not None else None),
         "events_processed": engine.events_processed,
         "batch_stats": dict(engine.batch_stats),
         "mmap_cursor": dict(engine._mmap_cursor),
@@ -79,3 +83,6 @@ def install_snapshot(engine, snapshot: Dict[str, Any]) -> None:
     engine.memsys.load_state(snapshot["memsys"])
     engine.stats.load_state(snapshot["stats"])
     engine.faults.load_state(snapshot["faults"])
+    if (snapshot.get("sampler") is not None
+            and engine._sampler is not None):
+        engine._sampler.load_state(snapshot["sampler"])

@@ -24,6 +24,7 @@ from . import events as ev
 from .communicator import Communicator
 from .config import SimConfig
 from .errors import DeadlockError, FrontendError
+from .jsonable import to_jsonable
 from .frontend import (Coroutine, FrontendClock, Proc, ProcState, SimProcess,
                        WaitToken)
 from .scheduler import GlobalScheduler
@@ -416,7 +417,12 @@ class Engine:
         """Structured no-progress diagnostic: per-process states with their
         blocked-on wait tokens, CPU states, lock/barrier ownership and the
         most recent events — everything needed to debug a hang without
-        re-running under a debugger."""
+        re-running under a debugger.
+
+        The report is JSON-plain (dict[str]/list/str/int only, no live
+        objects) so control-plane job records can embed it verbatim with
+        ``json.dumps``; in particular lock/barrier ids appear as *string*
+        keys."""
         now = self.gsched.now
         procs = []
         for p in sorted(self.comm.processes.values(), key=lambda q: q.pid):
@@ -469,7 +475,7 @@ class Engine:
         if recent:
             lines.append("  recent events (cycle, pid, kind):")
             lines.extend(f"    {r}" for r in recent)
-        return {
+        return to_jsonable({
             "reason": reason, "now": now,
             "events_processed": self.events_processed,
             "last_progress": self._last_progress,
@@ -477,7 +483,7 @@ class Engine:
             "locks": locks, "barriers": barriers,
             "recent_events": recent,
             "text": "\n".join(lines),
-        }
+        })
 
     def _account_trailing_idle(self) -> None:
         for c in self.comm.cpus:

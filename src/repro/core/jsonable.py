@@ -1,0 +1,51 @@
+"""Lossy-but-total conversion of diagnostic payloads to JSON-plain data.
+
+Forensic reports (:meth:`Engine.diagnostic_report`, the supervisor's
+worker post-mortems) are embedded verbatim in job records by the
+simulation-as-a-service control plane, which persists them with
+``json.dumps``. The engine builds them from live scheduler state, so the
+raw payloads can contain tuples, deques, int-keyed dicts, bytes from a
+worker's last pipe messages — anything. :func:`to_jsonable` maps all of
+that onto the JSON value model (dict[str, ...], list, str, int, float,
+bool, None) so a report survives ``json.loads(json.dumps(report))``
+unchanged. The mapping is total: objects with no natural JSON shape
+degrade to ``repr`` strings instead of raising.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: recursion guard: a diagnostic payload deeper than this is almost
+#: certainly self-referential; degrade to repr instead of overflowing
+_MAX_DEPTH = 24
+
+
+def to_jsonable(obj: Any, _depth: int = 0) -> Any:
+    """Map ``obj`` onto JSON-plain data (see module docstring).
+
+    Guarantees ``json.dumps(to_jsonable(x))`` never raises and that the
+    dump/load round trip is the identity on the converted value.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # inf/nan are not JSON; keep the report loadable everywhere
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            return repr(obj)
+        return obj
+    if _depth >= _MAX_DEPTH:
+        return repr(obj)
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v, _depth + 1) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) \
+            else obj
+        return [to_jsonable(v, _depth + 1) for v in items]
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": bytes(obj).hex()}
+    # deques, generators of the recent-event ring, enums, live objects…
+    try:
+        return [to_jsonable(v, _depth + 1) for v in list(obj)]
+    except TypeError:
+        return repr(obj)

@@ -97,6 +97,26 @@ class SamplingController:
             self._next_switch = (engine.events_processed
                                  + self.cfg.detail_events)
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The window schedule position (replay stands down, so a resumed
+        run must restore this rather than re-deriving it)."""
+        return {
+            "windows": [dict(w) for w in self.windows],
+            "in_ff": self.in_ff,
+            "next_switch": self._next_switch,
+            "win_idx": self._win_idx,
+            "mark": tuple(self._mark),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.windows = [dict(w) for w in state["windows"]]
+        self.in_ff = state["in_ff"]
+        self._next_switch = state["next_switch"]
+        self._win_idx = state["win_idx"]
+        self._mark = tuple(state["mark"])
+
     # -- reporting ---------------------------------------------------------
 
     def summary(self) -> dict:

@@ -58,6 +58,7 @@ from ..checkpoint.micro import SpecOverlay
 from ..core import events as ev
 from ..core.engine import Engine
 from ..core.errors import HostError
+from ..core.jsonable import to_jsonable
 from ..core.frontend import ProcState, SimProcess
 from ..core.stats import StatsRegistry
 from ..isa.assembler import assemble
@@ -1178,8 +1179,12 @@ class ParallelEngine(Engine):
 
     def _forensic_report(self, w: _Worker, reason: str,
                          exitcode: Optional[int]) -> dict:
+        """Worker post-mortem as JSON-plain data (``last_messages`` are
+        raw pipe tuples, so the whole payload goes through
+        :func:`to_jsonable`); control-plane job records embed it with
+        ``json.dumps``."""
         p = w.proc
-        return {
+        return to_jsonable({
             "worker": w.spec.name,
             "reason": reason,
             "host_pid": w.process.pid if w.process is not None else None,
@@ -1195,7 +1200,7 @@ class ParallelEngine(Engine):
             "sim_state": p.state.name if p is not None else None,
             "sim_vtime": p.vtime if p is not None else None,
             "now": self.gsched.now,
-        }
+        })
 
     def _forensic(self, w: _Worker, reason: str,
                   exitcode: Optional[int] = None) -> str:

@@ -1082,6 +1082,17 @@ class MemorySystem:
                    if self.l2s is not None else None),
             "protocol": self.protocol.state_dict(),
             "vmm": self.vmm.state_dict(),
+            # sampled fast-forward mode: a checkpoint taken inside an ff
+            # window must resume *inside* it, same calibrated latency and
+            # error-accumulator phase
+            "ff": {
+                "active": self.ff_active,
+                "refs": self.ff_refs,
+                "base": self._ff_base,
+                "frac": self._ff_frac,
+                "err": self._ff_err,
+                "lat_slow": self.lat_slow,
+            },
         }
 
     def load_state(self, state: dict) -> None:
@@ -1099,6 +1110,14 @@ class MemorySystem:
                 c.load_state(cs)
         self.protocol.load_state(state["protocol"])
         self.vmm.load_state(state["vmm"])
+        ff = state.get("ff")
+        if ff is not None:
+            self.ff_active = ff["active"]
+            self.ff_refs = ff["refs"]
+            self._ff_base = ff["base"]
+            self._ff_frac = ff["frac"]
+            self._ff_err = ff["err"]
+            self.lat_slow = ff["lat_slow"]
 
     # -- reporting ------------------------------------------------------------
 

@@ -1,0 +1,30 @@
+"""Simulation-as-a-service control plane.
+
+``adapter`` — the ``prepare/run/collect`` :class:`SimulatorAdapter` and
+the plain-dict config factory; ``workloads`` — the canonical workload
+registry and stats fingerprints; ``job`` — :class:`JobSpec` /
+:class:`JobRecord` / the job state machine; ``runner`` — the supervised
+:class:`JobRunner` + :class:`JobQueue` (retry/backoff, hang and
+wall-clock watchdogs, checkpoint-based preempt/resume, safe-mode
+degradation). See DESIGN.md "Control plane".
+"""
+
+from .adapter import SimulatorAdapter, make_config_factory
+from .job import AttemptRecord, JobRecord, JobSpec, JobState
+from .runner import JobQueue, JobRunner, run_matrix
+from .workloads import WORKLOADS, fingerprint, full_fingerprint
+
+__all__ = [
+    "SimulatorAdapter",
+    "make_config_factory",
+    "JobSpec",
+    "JobRecord",
+    "JobState",
+    "AttemptRecord",
+    "JobQueue",
+    "JobRunner",
+    "run_matrix",
+    "WORKLOADS",
+    "fingerprint",
+    "full_fingerprint",
+]

@@ -6,7 +6,8 @@ import pickle
 import pytest
 
 from repro import (CheckpointError, Engine, FaultPlan, FaultRule,
-                   SimulatedCrash, complex_backend, load_checkpoint, resume)
+                   SamplingConfig, SimulatedCrash, complex_backend,
+                   load_checkpoint, resume)
 from repro.checkpoint import RecordingMemory
 from repro.checkpoint.log import ReplayMemory
 from repro.core.errors import ReplayDivergence
@@ -283,6 +284,58 @@ class TestParallelResume:
             assert _fingerprint(eng2, stats2) == baseline
         finally:
             eng2.shutdown()
+
+
+class TestSamplingSpeculationResume:
+    """``sampling`` and ``speculate`` enabled *together* (previously only
+    covered separately): the sampled schedule must survive a crash and
+    resume even when the kill lands inside a fast-forward window, and the
+    speculate knob must not perturb a sampled run."""
+
+    #: short detail windows, long ff windows: autosaves at an 800-event
+    #: cadence land the second save (event 1600) inside the first ff
+    #: window (events 1000-3500)
+    SC = SamplingConfig(detail_events=1_000, ff_events=2_500)
+
+    def _factory(self, path, interval):
+        def cfg(**kw):
+            return complex_backend(sampling=self.SC, speculate=True,
+                                   lookahead=True, checkpoint_path=path,
+                                   checkpoint_interval=interval, **kw)
+        return cfg
+
+    def test_kill_during_ff_window_resumes(self, tmp_path):
+        build = FAULT_OFF_WORKLOADS["splash"]    # multi-CPU: rivals exist
+        path = str(tmp_path / "ck.pkl")
+
+        SimProcess._next_pid[0] = 1
+        eng0 = build(self._factory(str(tmp_path / "base.pkl"), 800))
+        baseline = _full_fingerprint(eng0, eng0.run())
+
+        SimProcess._next_pid[0] = 1
+        eng = build(self._factory(path, 800))
+        eng._ckpt.crash_after_saves = 2
+        with pytest.raises(SimulatedCrash):
+            eng.run()
+        # the hard case: the kill interrupted a fast-forward window, so
+        # the resume must reconstruct the window schedule and the
+        # calibrated ff latency mid-flight
+        assert eng.memsys.ff_active
+        eng2, stats2 = resume(path, lambda: build(self._factory(path, 800)))
+        assert _full_fingerprint(eng2, stats2) == baseline
+
+    def test_speculate_knob_invisible_in_sampled_runs(self):
+        """Without checkpointing, speculation is live in detail windows
+        and stands down during ff — either way the sampled result must
+        be bit-identical to the speculate-off schedule."""
+        def run(speculate):
+            SimProcess._next_pid[0] = 1
+            eng = FAULT_OFF_WORKLOADS["splash"](
+                lambda **kw: complex_backend(sampling=self.SC,
+                                             speculate=speculate, **kw))
+            return _full_fingerprint(eng, eng.run())
+
+        assert run(True) == run(False)
 
 
 class TestComponentRoundTrips:

@@ -3,14 +3,12 @@
 import pytest
 
 from repro import Engine, FaultPlan, complex_backend
-from repro.apps.minidb import (MiniDb, TpccDriver, TpcdDriver, tpcc_catalog,
-                               tpcd_catalog)
+from repro.apps.minidb import MiniDb, TpccDriver, tpcc_catalog
 from repro.apps.splash import spawn_kernel
-from repro.apps.webserver import (TracePlayer, generate_fileset, make_trace,
-                                  prefork_web_server)
 from repro.core.frontend import SimProcess
 from repro.harness import (ProfileRow, measure_slowdown, profile_row,
                            render_table, top_oscall_table)
+from repro.service.workloads import WORKLOADS, fingerprint
 
 
 def run_tpcc(seed):
@@ -40,57 +38,11 @@ class TestDeterminism:
         assert once() == once()
 
 
-def _build_oltp(cfg):
-    eng = Engine(cfg(num_cpus=2))
-    db = MiniDb(eng, tpcc_catalog(1, 0.005), pool_frames=16, seed=3)
-    db.setup()
-    drv = TpccDriver(db, nagents=2, tx_per_agent=3, seed=3,
-                     think_cycles=5_000, user_work=20_000)
-    drv.spawn_agents(eng)
-    return eng
-
-
-def _build_dss(cfg):
-    eng = Engine(cfg(num_cpus=2))
-    db = MiniDb(eng, tpcd_catalog(scale=0.0001), pool_frames=16)
-    db.setup()
-    TpcdDriver(db, nagents=2, io="read", rows_work=50).spawn_q1(eng)
-    return eng
-
-
-def _build_web(cfg):
-    eng = Engine(cfg(num_cpus=4, coherence="mesi", num_nodes=1))
-    fset = generate_fileset(eng.os_server.fs, ndirs=1, size_scale=0.1)
-    trace = make_trace(fset, nrequests=6, seed=3)
-    prefork_web_server(eng, nworkers=2)
-    TracePlayer(eng, trace, fset, nclients=2, nworkers_to_quit=2).start()
-    return eng
-
-
-def _build_splash(cfg):
-    eng = Engine(cfg(num_cpus=4))
-    spawn_kernel(eng, "radix", 4, nkeys=512)
-    return eng
-
-
-FAULT_OFF_WORKLOADS = {
-    "oltp": _build_oltp,
-    "dss": _build_dss,
-    "webserver": _build_web,
-    "splash": _build_splash,
-}
-
-
-def _fingerprint(eng, stats):
-    return (
-        stats.end_cycle,
-        eng.events_processed,
-        tuple((c.user, c.kernel, c.interrupt, c.idle, c.ctx_switch)
-              for c in stats.cpu),
-        tuple(sorted(stats.syscall_cycles.items())),
-        tuple(sorted(stats.syscall_counts.items())),
-        tuple(sorted(stats.interrupt_counts.items())),
-    )
+# the canonical builders/fingerprints live in the service workload
+# registry now; this module keeps the historical names the equivalence
+# and checkpoint suites import
+FAULT_OFF_WORKLOADS = dict(WORKLOADS)
+_fingerprint = fingerprint
 
 
 class TestFaultsOffBitIdentity:

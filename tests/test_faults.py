@@ -390,9 +390,11 @@ class TestWatchdog:
             eng.run()
         report = ei.value.report
         assert report is not None
-        assert 7 in report["locks"]
-        assert report["locks"][7]["holder"] == hp.pid   # the exited holder
-        assert report["locks"][7]["waiters"] == [wp.pid]
+        # lock/barrier ids are string keys: reports are JSON-plain so job
+        # records can embed them verbatim
+        assert "7" in report["locks"]
+        assert report["locks"]["7"]["holder"] == hp.pid  # the exited holder
+        assert report["locks"]["7"]["waiters"] == [wp.pid]
         states = {p["name"]: p["state"] for p in report["processes"]}
         assert states["waiter"] == "SYNCWAIT"
         assert "SYNCWAIT" in report["text"]
@@ -512,7 +514,7 @@ class TestBarrierDeadlockReport:
             eng.run()
         report = ei.value.report
         assert report is not None
-        assert report["barriers"] == {3: sorted([p0.pid, p1.pid])}
+        assert report["barriers"] == {"3": sorted([p0.pid, p1.pid])}
         states = {p["name"]: p["state"] for p in report["processes"]}
         assert states["join0"] == "SYNCWAIT"
         assert states["join1"] == "SYNCWAIT"

@@ -1,0 +1,232 @@
+"""Control-plane tests: adapter lifecycle, supervised job matrix, chaos
+(SIGKILL mid-run + deterministic hang on retry -> checkpoint resume,
+bit-identical), safe-mode degradation, structured failure records, and
+preempt/resume."""
+
+import json
+import os
+
+import pytest
+
+from repro import FaultPlan, FaultRule, complex_backend
+from repro.service import (JobRunner, JobSpec, JobState, SimulatorAdapter,
+                           run_matrix)
+from repro.service.workloads import WORKLOADS, full_fingerprint
+
+TIMING_PLAN = FaultPlan(rules=(
+    FaultRule(site="disk:latency", prob=0.2, extra_cycles=40_000),
+    FaultRule(site="mem:degraded", prob=0.001, extra_cycles=300),
+), seed=1998)
+
+
+def _direct_fingerprint(workload, config=None, segment=None, **kw):
+    """Run a description straight through the adapter (no subprocess)."""
+    a = SimulatorAdapter()
+    a.prepare(config=config, workload=workload, workload_kwargs=kw)
+    a.run_to_completion(segment=segment)
+    return a.collect()["fingerprint"]
+
+
+# ---------------------------------------------------------------------------
+# SimulatorAdapter
+# ---------------------------------------------------------------------------
+
+class TestSimulatorAdapter:
+    def test_prepare_run_collect(self):
+        a = SimulatorAdapter()
+        eng = a.prepare(workload="dss")
+        assert not a.running or eng.events_processed == 0
+        a.run()
+        out = a.collect()
+        assert out["workload"] == "dss"
+        assert out["events_processed"] > 0
+        assert not out["running"]
+        # the payload is JSON-plain and survives a round trip
+        assert json.loads(json.dumps(out)) == out
+
+    def test_matches_manual_build(self):
+        """The adapter is the registry builders behind a lifecycle: same
+        description, same fingerprint as building by hand."""
+        from repro.core.frontend import SimProcess
+        SimProcess.set_pid_counter(1)
+        eng = WORKLOADS["oltp"](lambda **kw: complex_backend(**kw))
+        manual = full_fingerprint(eng, eng.run())
+        a = SimulatorAdapter()
+        a.prepare(workload="oltp")
+        a.run()
+        assert a.fingerprint() == manual
+
+    def test_bounded_runs_resume_where_they_stopped(self):
+        a = SimulatorAdapter()
+        a.prepare(workload="dss")
+        a.run(budget=500)
+        seen = a.engine.events_processed
+        assert 0 < seen <= 500
+        assert a.running
+        a.run_to_completion(segment=500)
+        assert not a.running
+        assert a.engine.events_processed > seen
+
+    def test_config_dict_faults_and_knobs(self):
+        """Plain-dict configs (with the FaultPlan dict form) build the
+        same simulation as live objects."""
+        via_dict = _direct_fingerprint(
+            "oltp", {"faults": TIMING_PLAN.to_dict(), "speculate": False})
+        via_obj = _direct_fingerprint(
+            "oltp", {"faults": TIMING_PLAN, "speculate": False})
+        assert via_dict == via_obj
+
+    def test_unknown_workload_refused(self):
+        from repro.core.errors import ConfigError
+        with pytest.raises(ConfigError, match="unknown workload"):
+            SimulatorAdapter().prepare(workload="nope")
+
+
+# ---------------------------------------------------------------------------
+# job matrix (happy path)
+# ---------------------------------------------------------------------------
+
+class TestJobMatrix:
+    def test_matrix_runs_to_done(self, tmp_path):
+        specs = [JobSpec(name=f"m-{w}", workload=w, heartbeat_events=1_500,
+                         checkpoint_interval=1_500)
+                 for w in ("dss", "splash")]
+        recs = run_matrix(specs, workdir=str(tmp_path), max_workers=2)
+        for w in ("dss", "splash"):
+            rec = recs[f"m-{w}"]
+            assert rec.state == JobState.DONE
+            assert rec.history == ["PENDING", "RUNNING", "DONE"]
+            assert rec.fingerprint == _direct_fingerprint(w, segment=1_500)
+            assert json.loads(rec.to_json()) == rec.to_dict()
+
+    def test_duplicate_names_refused(self):
+        runner = JobRunner()
+        runner.submit(JobSpec(name="x", workload="dss"))
+        with pytest.raises(ValueError, match="duplicate"):
+            runner.submit(JobSpec(name="x", workload="dss"))
+
+
+# ---------------------------------------------------------------------------
+# chaos: the acceptance scenario
+# ---------------------------------------------------------------------------
+
+def _chaos_spec(name, chaos, tmp_path, **kw):
+    base = dict(workload="oltp", heartbeat_events=1_500,
+                checkpoint_interval=1_500, max_retries=2, backoff=0.02,
+                hang_timeout=0.75, timeout=120.0)
+    base.update(kw)
+    return JobSpec(name=name, chaos=chaos, **base)
+
+
+class TestChaos:
+    def test_chaos_kill_then_hang_resumes_bit_identical(self, tmp_path):
+        """The acceptance gate: SIGKILL the job mid-run, then inject a
+        deterministic hang on the first retry. The job must finish within
+        its retry budget via checkpoint resume + backoff, bit-identical
+        to an undisturbed job of the same spec."""
+        undisturbed = run_matrix(
+            [_chaos_spec("calm", {}, tmp_path)],
+            workdir=str(tmp_path / "calm"))["calm"]
+        assert undisturbed.state == JobState.DONE
+
+        chaotic = run_matrix(
+            [_chaos_spec("chaos", {"kill_at_events": 6_000,
+                                   "kill_on_attempts": [1],
+                                   "hang_on_attempts": [2]}, tmp_path)],
+            workdir=str(tmp_path / "chaos"))["chaos"]
+
+        assert chaotic.state == JobState.DONE
+        outcomes = [a.outcome for a in chaotic.attempts]
+        assert outcomes == ["crashed", "hung", "done"]
+        # both failed attempts were followed by checkpoint resumes, not
+        # restarts: the final attempt picked up past the kill point
+        assert chaotic.resumes >= 1
+        assert chaotic.attempts[-1].resumed_from_events >= 1_500
+        # retry/backoff policy engaged and stayed within budget
+        assert chaotic.history.count("RETRYING") == 2
+        assert all(a.backoff_seconds > 0 for a in chaotic.attempts[1:])
+        assert chaotic.fingerprint == undisturbed.fingerprint
+        assert json.loads(chaotic.to_json()) == chaotic.to_dict()
+
+    def test_retry_exhaustion_degrades_to_safe_mode(self, tmp_path):
+        """Every optimistic attempt is killed; the job must degrade to
+        the serial safe-mode attempt and still produce the canonical
+        fingerprint (the optimistic knobs are bit-identical)."""
+        undisturbed = run_matrix(
+            [_chaos_spec("calm", {}, tmp_path, max_retries=1)],
+            workdir=str(tmp_path / "calm"))["calm"]
+        rec = run_matrix(
+            [_chaos_spec("deg", {"kill_at_events": 4_000,
+                                 "kill_on_attempts": [1, 2]}, tmp_path,
+                         max_retries=1)],
+            workdir=str(tmp_path / "deg"))["deg"]
+        assert rec.state == JobState.DEGRADED
+        assert rec.degraded
+        assert [a.safe_mode for a in rec.attempts] == [False, False, True]
+        assert rec.attempts[-1].outcome == "done"
+        assert rec.fingerprint == undisturbed.fingerprint
+        assert rec.history[-1] == "DEGRADED"
+
+    def test_exhausted_job_fails_with_structured_record(self, tmp_path):
+        """No fallback: the terminal record is FAILED, JSON-serializable,
+        and carries the last structured error."""
+        rec = run_matrix(
+            [_chaos_spec("fail", {"crash_on_attempts": [1, 2]}, tmp_path,
+                         max_retries=1, safe_mode_fallback=False,
+                         checkpoint_interval=0)],
+            workdir=str(tmp_path / "fail"))["fail"]
+        assert rec.state == JobState.FAILED
+        assert rec.error is not None
+        assert rec.error["last_error"]["type"] == "RuntimeError"
+        assert "chaos" in rec.error["last_error"]["message"]
+        assert rec.error["retries_used"] == 2
+        assert rec.fingerprint is None
+        assert json.loads(rec.to_json()) == rec.to_dict()
+
+    def test_timeout_enforced(self, tmp_path):
+        rec = run_matrix(
+            [JobSpec(name="slow", workload="oltp", timeout=0.01,
+                     hang_timeout=30.0, max_retries=0,
+                     safe_mode_fallback=False, checkpoint_interval=0)],
+            workdir=str(tmp_path))["slow"]
+        assert rec.state == JobState.FAILED
+        assert rec.attempts[0].outcome == "timeout"
+
+
+# ---------------------------------------------------------------------------
+# preempt / resume
+# ---------------------------------------------------------------------------
+
+class TestPreemptResume:
+    def test_preempt_resumes_from_autosave(self, tmp_path):
+        undisturbed = run_matrix(
+            [_chaos_spec("calm", {}, tmp_path)],
+            workdir=str(tmp_path / "calm"))["calm"]
+
+        runner = JobRunner(workdir=str(tmp_path / "pre"))
+        runner.submit(_chaos_spec("pre", {}, tmp_path))
+        for _ in range(2_000):
+            runner.step(timeout=0.02)
+            act = runner._active.get("pre")
+            if act is not None and act.events >= 3_000:
+                break
+        else:
+            pytest.fail("job never progressed to the preemption point")
+        runner.preempt("pre")
+        rec = runner.queue.get("pre")
+        while rec.state != JobState.PREEMPTED:
+            runner.step(timeout=0.02)
+        assert rec.preemptions == 1
+        assert os.path.exists(runner._ckpt_path("pre"))
+        # held: the runner is idle until the caller resumes the job
+        assert runner.run() == {"pre": rec}
+        assert rec.state == JobState.PREEMPTED
+
+        runner.resume("pre")
+        runner.run()
+        assert rec.state == JobState.DONE
+        assert rec.resumes == 1
+        assert rec.attempts[-1].resumed_from_events >= 1_500
+        # a preemption consumed no retry budget
+        assert "RETRYING" not in rec.history
+        assert rec.fingerprint == undisturbed.fingerprint
