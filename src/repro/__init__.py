@@ -29,15 +29,17 @@ from .core.config import (BackendConfig, CacheConfig, DiskConfig,
                           EthernetConfig, MemoryConfig, OSConfig,
                           SamplingConfig, SimConfig, complex_backend,
                           simple_backend, with_os)
-from .checkpoint import CheckpointManager, load_checkpoint, resume
+from .checkpoint import (CheckpointManager, checkpoint_exists,
+                         load_checkpoint, resume)
 from .core.engine import Engine
-from .core.errors import (CheckpointError, CompassError, ConfigError,
-                          DeadlockError, FrontendError, MemoryError_,
-                          ReplayDivergence, SchedulerError, SimulatedCrash)
+from .core.errors import (CheckpointCorruptError, CheckpointError,
+                          CompassError, ConfigError, DeadlockError,
+                          FrontendError, MemoryError_, ReplayDivergence,
+                          SchedulerError, SimulatedCrash, SpoolCorruptError)
 from .core.events import EvKind, Event, SyscallResult
 from .core.frontend import Proc, ProcState, SimProcess, WaitToken
 from .core.stats import StatsRegistry
-from .faults import FaultPlan, FaultRule
+from .faults import CrashPointPlan, CrashRule, FaultPlan, FaultRule
 
 #: control-plane symbols resolved lazily (the service package pulls in the
 #: app workloads; plain `import repro` must stay light)
@@ -78,15 +80,20 @@ __all__ = [
     "EthernetConfig",
     "FaultPlan",
     "FaultRule",
+    "CrashPointPlan",
+    "CrashRule",
     "simple_backend",
     "complex_backend",
     "with_os",
     "CheckpointManager",
+    "checkpoint_exists",
     "load_checkpoint",
     "resume",
     "CompassError",
     "ConfigError",
     "CheckpointError",
+    "CheckpointCorruptError",
+    "SpoolCorruptError",
     "DeadlockError",
     "FrontendError",
     "MemoryError_",

@@ -22,12 +22,18 @@ left off.
 """
 
 from .log import RecordingMemory, ReplayMemory
-from .manager import CheckpointManager, load_checkpoint, resume
+from .manager import (CheckpointManager, checkpoint_exists, generation_paths,
+                      load_checkpoint, quarantine_checkpoint, resume,
+                      write_checkpoint_file)
 from .micro import MicroCheckpoint, SpecOverlay
 from .snapshot import collect_snapshot, install_snapshot, verify_snapshot
 
 __all__ = [
     "CheckpointManager",
+    "checkpoint_exists",
+    "generation_paths",
+    "quarantine_checkpoint",
+    "write_checkpoint_file",
     "MicroCheckpoint",
     "SpecOverlay",
     "RecordingMemory",

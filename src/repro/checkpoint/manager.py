@@ -14,18 +14,31 @@ switches back to record mode, live.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..core.errors import CheckpointError, ReplayDivergence, SimulatedCrash
+from ..core.errors import (CheckpointCorruptError, CheckpointError,
+                           ReplayDivergence, SimulatedCrash)
+from ..core.framing import (fsync_dir, fsync_file, read_frame,
+                            sweep_stale_tmp, write_frame)
 from ..core.frontend import SimProcess
+from ..faults import crashpoints
 from .log import RecordingMemory, ReplayMemory
 from .snapshot import collect_snapshot, install_snapshot, verify_snapshot
 
-#: checkpoint file format version (bump on incompatible layout changes)
-FORMAT_VERSION = 1
+#: checkpoint file format version (bump on incompatible layout changes);
+#: v2 is the framed format: magic + CRC32-framed JSON header + CRC32-
+#: framed pickle payload, written fsync-before-rename
+FORMAT_VERSION = 2
+
+#: 4-byte file magic opening every v2 checkpoint
+MAGIC = b"CMPK"
+
+#: autosave generations rotated under the default path (`.g0`/`.g1`)
+GENERATIONS = 2
 
 
 def _worker_fingerprint(engine) -> Optional[Dict[int, Tuple[str, int]]]:
@@ -67,6 +80,9 @@ class CheckpointManager:
         self.worker_fp: Optional[Dict[int, Tuple[str, int]]] = None
         self._next_save = self.interval
         self._replay_idx = -1
+        # a writer that died mid-save leaves <target>.tmp behind; sweep
+        # our own base name so stale temps never accumulate
+        sweep_stale_tmp(os.path.dirname(path) or ".", os.path.basename(path))
         engine.memsys = RecordingMemory(engine.memsys, self.replies)
         engine.faults.begin_recording(self.fault_log)
 
@@ -102,11 +118,19 @@ class CheckpointManager:
     # -- saving ------------------------------------------------------------
 
     def save(self, path: str = None) -> str:
-        """Write an atomic checkpoint of the current loop-top state.
+        """Write an atomic, framed, generation-rotated checkpoint.
 
-        ``path`` overrides the manager's default target — used by the
-        sampling controller to drop per-window snapshots (``.w<N>``)
-        without disturbing the autosave file."""
+        Default autosaves alternate between ``<path>.g0`` and
+        ``<path>.g1`` so a save torn by a crash (or a later bit flip in
+        the newest file) still leaves the previous generation loadable.
+        An explicit ``path`` — the sampling controller's per-window
+        ``.w<N>`` snapshots — writes that single file, no rotation.
+
+        Durability discipline: payload + header are CRC32-framed, the
+        tmp file is fsynced *before* ``os.replace``, and the directory
+        is fsynced after, so the rename is itself durable. Crash points
+        ``ckpt:pre-rename`` / ``ckpt:post-rename`` / ``ckpt:post-fsync``
+        bracket those steps for the recovery test harness."""
         engine = self.engine
         segments = [dict(s) for s in self.segments]
         if not segments:
@@ -125,11 +149,11 @@ class CheckpointManager:
             "segments": segments,
             "snapshot": collect_snapshot(engine),
         }
-        target = path if path is not None else self.path
-        tmp = target + ".tmp"
-        with open(tmp, "wb") as f:
-            pickle.dump(ckpt, f, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, target)
+        if path is not None:
+            target = path
+        else:
+            target = f"{self.path}.g{self.saves % GENERATIONS}"
+        write_checkpoint_file(target, ckpt)
         self.saves += 1
         self.session_saves += 1
         if (self.crash_after_saves is not None
@@ -219,13 +243,151 @@ class CheckpointManager:
         return engine.run(seg["until"], remaining)
 
 
-def load_checkpoint(path: str) -> Dict[str, Any]:
-    """Read a checkpoint file (no side effects)."""
+def write_checkpoint_file(target: str, ckpt: Dict[str, Any]) -> str:
+    """Atomically write one framed checkpoint file (v2 format).
+
+    Layout: ``MAGIC`` + CRC32-framed JSON header (format version + save
+    counter, readable without unpickling) + CRC32-framed pickle payload.
+    """
+    payload = pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL)
+    header = json.dumps({"format": FORMAT_VERSION,
+                         "saves": ckpt.get("saves", 0),
+                         "events": ckpt.get("events_processed", 0)}).encode()
+    tmp = target + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(MAGIC)
+        write_frame(f, header)
+        write_frame(f, payload)
+        fsync_file(f)
+    crashpoints.hit("ckpt:pre-rename")
+    os.replace(tmp, target)
+    crashpoints.hit("ckpt:post-rename")
+    fsync_dir(os.path.dirname(target) or ".")
+    crashpoints.hit("ckpt:post-fsync")
+    return target
+
+
+def _read_checkpoint_file(path: str) -> Dict[str, Any]:
+    """Read + fully verify one framed checkpoint file.
+
+    Every corruption mode — bad magic, torn/flipped frames, garbage
+    pickle — raises :class:`CheckpointCorruptError` with the byte
+    offset; a raw ``EOFError``/``UnpicklingError`` never escapes.
+    """
     with open(path, "rb") as f:
-        ckpt = pickle.load(f)
+        magic = f.read(len(MAGIC))
+        if magic != MAGIC:
+            raise CheckpointCorruptError(
+                path, 0, f"bad magic {magic!r} (want {MAGIC!r}): not a "
+                f"v{FORMAT_VERSION} checkpoint file")
+        header_raw = read_frame(f, path, CheckpointCorruptError)
+        if header_raw is None:
+            raise CheckpointCorruptError(path, len(MAGIC),
+                                         "missing header frame")
+        try:
+            header = json.loads(header_raw)
+        except ValueError as exc:
+            raise CheckpointCorruptError(
+                path, len(MAGIC), f"unreadable header frame: {exc}")
+        offset = f.tell()
+        payload = read_frame(f, path, CheckpointCorruptError)
+        if payload is None:
+            raise CheckpointCorruptError(path, offset,
+                                         "missing payload frame")
+        try:
+            ckpt = pickle.loads(payload)
+        except Exception as exc:     # CRC passed but pickle refuses:
+            raise CheckpointCorruptError(    # writer bug, still structured
+                path, offset, f"unpicklable payload: {exc!r}")
     if not isinstance(ckpt, dict) or "version" not in ckpt:
-        raise CheckpointError(f"{path!r} is not a checkpoint file")
+        raise CheckpointCorruptError(path, offset,
+                                     "payload is not a checkpoint dict")
+    if header.get("format") != ckpt.get("version"):
+        raise CheckpointCorruptError(
+            path, len(MAGIC),
+            f"header format {header.get('format')!r} disagrees with "
+            f"payload version {ckpt.get('version')!r}")
     return ckpt
+
+
+def _header_saves(path: str) -> int:
+    """The save counter from a file's header frame; -1 when unreadable
+    (the file then sorts oldest and is tried last)."""
+    try:
+        with open(path, "rb") as f:
+            if f.read(len(MAGIC)) != MAGIC:
+                return -1
+            header_raw = read_frame(f, path, CheckpointCorruptError)
+            if header_raw is None:
+                return -1
+            return int(json.loads(header_raw).get("saves", -1))
+    except (OSError, ValueError, CheckpointCorruptError):
+        return -1
+
+
+def generation_paths(path: str) -> List[str]:
+    """The rotation targets autosaves alternate between."""
+    return [f"{path}.g{i}" for i in range(GENERATIONS)]
+
+
+def checkpoint_exists(path: str) -> bool:
+    """True when ``path`` (explicit file) or any of its autosave
+    generations exists."""
+    return (os.path.exists(path)
+            or any(os.path.exists(g) for g in generation_paths(path)))
+
+
+def quarantine_checkpoint(path: str, err: CheckpointCorruptError,
+                          fallback: Optional[str] = None) -> Dict[str, Any]:
+    """Move a corrupt checkpoint aside and drop a JSON forensic record.
+
+    The bytes move to ``<path>.corrupt`` (never deleted — they are the
+    evidence) and ``<path>.quarantine.json`` records what was wrong and
+    which generation recovery fell back to. Returns the record."""
+    record = {
+        "quarantined": path,
+        "moved_to": path + ".corrupt",
+        "error": err.to_record(),
+        "fallback": fallback,
+    }
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError as exc:
+        record["moved_to"] = None
+        record["move_error"] = repr(exc)
+    with open(path + ".quarantine.json", "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+    return record
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read + verify a checkpoint (with generation fallback).
+
+    An existing ``path`` is read as an explicit single file — strict,
+    no fallback (the sampling controller's ``.w<N>`` windows). Otherwise
+    the autosave generations ``<path>.g0`` / ``<path>.g1`` are tried
+    newest-first (by the save counter in the framed header): a corrupt
+    newer generation is quarantined (:func:`quarantine_checkpoint`) and
+    the previous one is used instead of restarting from cycle zero.
+    Raises :class:`CheckpointCorruptError` when every candidate is
+    corrupt, ``FileNotFoundError`` when none exists.
+    """
+    if os.path.exists(path):
+        return _read_checkpoint_file(path)
+    gens = [g for g in generation_paths(path) if os.path.exists(g)]
+    if not gens:
+        raise FileNotFoundError(
+            f"no checkpoint at {path!r} (and no .g* generations)")
+    gens.sort(key=_header_saves, reverse=True)
+    last_err: Optional[CheckpointCorruptError] = None
+    for idx, gen in enumerate(gens):
+        try:
+            return _read_checkpoint_file(gen)
+        except CheckpointCorruptError as exc:
+            fallback = gens[idx + 1] if idx + 1 < len(gens) else None
+            quarantine_checkpoint(gen, exc, fallback)
+            last_err = exc
+    raise last_err
 
 
 def resume(path: str, build: Callable[[], Any], finish: bool = True):

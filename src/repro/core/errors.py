@@ -79,6 +79,39 @@ class CheckpointError(CompassError):
     a config/workload fingerprint that does not match the resuming engine."""
 
 
+class _CorruptFileMixin:
+    """Structured file-corruption identity: path + byte offset + reason.
+
+    The durability layer quarantines corrupt files and embeds
+    :meth:`to_record` output in JSON forensic records, so the payload
+    must stay JSON-plain.
+    """
+
+    def __init__(self, path: str, offset: int, reason: str) -> None:
+        super().__init__(f"{path}: corrupt at byte {offset}: {reason}")
+        self.path = path
+        self.offset = offset
+        self.reason = reason
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"type": type(self).__name__, "path": str(self.path),
+                "offset": int(self.offset), "reason": self.reason}
+
+
+class CheckpointCorruptError(_CorruptFileMixin, CheckpointError):
+    """A checkpoint file failed verification (bad magic, torn frame,
+    CRC mismatch, unpicklable payload). Carries the byte offset of the
+    first bad frame; never surfaces as a raw ``EOFError`` or
+    ``UnpicklingError``."""
+
+
+class SpoolCorruptError(_CorruptFileMixin, CompassError):
+    """A job-spool segment is corrupt *in the interior* — valid records
+    follow the damaged one, so truncating at the tear would silently
+    drop durable history. Torn tails are not errors: the recovery scan
+    truncates and quarantines them."""
+
+
 class ReplayDivergence(CheckpointError):
     """Raised when the restore fast-forward diverges from the recorded run.
 

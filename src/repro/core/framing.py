@@ -1,0 +1,113 @@
+"""CRC32-framed record I/O for the durability layer.
+
+One framing convention shared by every crash-consistent file in the
+repo — the control plane's job spool segments and the checkpoint
+manager's autosave files:
+
+* a file starts with a 4-byte **magic** naming its format,
+* every record is ``[u32 length][u32 crc32(payload)][payload]``
+  (little-endian), so a reader can detect *exactly* where a torn write
+  or a bit flip happened and report the byte offset,
+* writers follow the classic fsync discipline: flush+fsync the file
+  before it becomes reachable (``os.replace`` for checkpoints, the
+  append itself for WAL segments), then fsync the containing directory
+  so the rename/creat is itself durable.
+
+Readers never raise raw ``struct``/EOF errors: every failure mode maps
+to the caller-supplied corruption exception carrying path + byte offset
++ reason, which is what the recovery layers quarantine and report.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import BinaryIO, Callable, List, Optional
+
+_HEADER = struct.Struct("<II")          # payload length, payload crc32
+HEADER_SIZE = _HEADER.size
+MAGIC_SIZE = 4
+
+#: hard ceiling on a single frame; a declared length past this is
+#: corruption, not data (keeps a flipped length bit from allocating GBs)
+MAX_FRAME = 256 * 1024 * 1024
+
+
+def write_frame(f: BinaryIO, payload: bytes) -> int:
+    """Append one framed record; returns the bytes written."""
+    f.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+    f.write(payload)
+    return HEADER_SIZE + len(payload)
+
+
+def read_frame(f: BinaryIO, path: str,
+               err: Callable[[str, int, str], Exception]) -> Optional[bytes]:
+    """Read one framed record at the current position.
+
+    Returns the payload, or ``None`` at a clean end of file. Any other
+    condition — torn header, torn payload, implausible length, CRC
+    mismatch — raises ``err(path, offset, reason)`` where ``offset`` is
+    the byte position of the frame that failed.
+    """
+    offset = f.tell()
+    header = f.read(HEADER_SIZE)
+    if not header:
+        return None
+    if len(header) < HEADER_SIZE:
+        raise err(path, offset,
+                  f"torn frame header ({len(header)} of {HEADER_SIZE} bytes)")
+    length, crc = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise err(path, offset,
+                  f"implausible frame length {length} (corrupt header)")
+    payload = f.read(length)
+    if len(payload) < length:
+        raise err(path, offset,
+                  f"torn frame payload ({len(payload)} of {length} bytes)")
+    if zlib.crc32(payload) != crc:
+        raise err(path, offset, "frame CRC32 mismatch")
+    return payload
+
+
+def fsync_file(f: BinaryIO) -> None:
+    """Flush user-space buffers and force the file to stable storage."""
+    f.flush()
+    os.fsync(f.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creates inside it are durable.
+
+    Best-effort: some filesystems refuse O_RDONLY fsync on directories;
+    a failure here degrades durability, not correctness.
+    """
+    fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def sweep_stale_tmp(dirpath: str, prefix: str = "") -> List[str]:
+    """Remove ``<prefix>*.tmp`` leftovers from writers that died mid-write.
+
+    Returns the paths removed (for forensic logging). Missing directory
+    is not an error — there is then nothing stale to sweep.
+    """
+    removed: List[str] = []
+    try:
+        names = os.listdir(dirpath)
+    except OSError:
+        return removed
+    for name in names:
+        if name.endswith(".tmp") and name.startswith(prefix):
+            path = os.path.join(dirpath, name)
+            try:
+                os.unlink(path)
+                removed.append(path)
+            except OSError:
+                pass
+    return removed

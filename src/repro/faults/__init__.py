@@ -9,8 +9,16 @@ dedicated ``random.Random(seed)`` stream, so a faulty run is exactly as
 reproducible as a fault-free one.  With no plan (or an empty plan) the
 subsystem binds no hooks and draws no random numbers: runs are
 bit-identical to a build without it.
+
+``crashpoints`` is the host-side sibling: a seeded
+:class:`CrashPointPlan` kills (or raises inside) the *simulator
+process itself* at named durability sites — spool append/fsync,
+checkpoint pre/post-rename, post-fsync — to prove the WAL spool and
+checkpoint layers recover from any torn write.
 """
 
+from .crashpoints import (CrashPointInjector, CrashPointPlan, CrashRule,
+                          KNOWN_CRASH_SITES)
 from .injector import FaultInjector, FaultStats
 from .plan import FaultPlan, FaultRule, KNOWN_SITE_PREFIXES
 
@@ -20,4 +28,8 @@ __all__ = [
     "FaultRule",
     "FaultStats",
     "KNOWN_SITE_PREFIXES",
+    "CrashPointInjector",
+    "CrashPointPlan",
+    "CrashRule",
+    "KNOWN_CRASH_SITES",
 ]

@@ -6,12 +6,17 @@ registry and stats fingerprints; ``job`` — :class:`JobSpec` /
 :class:`JobRecord` / the job state machine; ``runner`` — the supervised
 :class:`JobRunner` + :class:`JobQueue` (retry/backoff, hang and
 wall-clock watchdogs, checkpoint-based preempt/resume, safe-mode
-degradation). See DESIGN.md "Control plane".
+degradation); ``spool`` — the :class:`JobSpool` WAL journal behind
+``JobRunner(spool_dir=...)`` / :meth:`JobRunner.recover`; ``recovery``
+— the :func:`crash_recovery_loop` supervisor-kill harness. See
+DESIGN.md "Control plane" and "Durability & crash consistency".
 """
 
 from .adapter import SimulatorAdapter, make_config_factory
 from .job import AttemptRecord, JobRecord, JobSpec, JobState
+from .recovery import crash_recovery_loop, final_fingerprints
 from .runner import JobQueue, JobRunner, run_matrix
+from .spool import JobSpool
 from .workloads import WORKLOADS, fingerprint, full_fingerprint
 
 __all__ = [
@@ -23,6 +28,9 @@ __all__ = [
     "AttemptRecord",
     "JobQueue",
     "JobRunner",
+    "JobSpool",
+    "crash_recovery_loop",
+    "final_fingerprints",
     "run_matrix",
     "WORKLOADS",
     "fingerprint",

@@ -118,6 +118,10 @@ class AttemptRecord:
     def to_dict(self) -> Dict[str, Any]:
         return to_jsonable(asdict(self))
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "AttemptRecord":
+        return cls(**d)
+
 
 @dataclass
 class JobRecord:
@@ -162,3 +166,20 @@ class JobRecord:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JobRecord":
+        """Rebuild a record from its :meth:`to_dict` form — the spool's
+        compaction snapshots and crash recovery both replay these."""
+        return cls(
+            spec=JobSpec.from_dict(d["spec"]),
+            state=d.get("state", JobState.PENDING),
+            attempts=[AttemptRecord.from_dict(a)
+                      for a in d.get("attempts", ())],
+            history=list(d.get("history", (JobState.PENDING,))),
+            resumes=int(d.get("resumes", 0)),
+            preemptions=int(d.get("preemptions", 0)),
+            degraded=bool(d.get("degraded", False)),
+            result=d.get("result"),
+            error=d.get("error"),
+        )

@@ -38,10 +38,13 @@ import time
 from multiprocessing.connection import wait as conn_wait
 from typing import Dict, Iterable, Optional
 
+from ..checkpoint import checkpoint_exists, generation_paths
 from ..checkpoint import resume as ckpt_resume
+from ..core.framing import sweep_stale_tmp
 from ..core.jsonable import to_jsonable
 from .adapter import SimulatorAdapter
 from .job import AttemptRecord, JobRecord, JobSpec, JobState
+from .spool import JobSpool
 
 try:
     _ctx = mp.get_context("fork")
@@ -89,7 +92,7 @@ def _job_child(spec_dict: dict, attempt: int, ckpt_path: str,
                                    workload_kwargs=spec.workload_kwargs)
 
         if (not safe_mode and spec.checkpoint_interval > 0
-                and os.path.exists(ckpt_path)):
+                and checkpoint_exists(ckpt_path)):
             engine, stats = ckpt_resume(ckpt_path, build, finish=True)
             adapter.stats = stats
             conn.send(("resumed", engine.events_processed))
@@ -188,13 +191,25 @@ class JobRunner:
 
     def __init__(self, queue: Optional[JobQueue] = None, *,
                  max_workers: int = 2, workdir: Optional[str] = None,
-                 poll: float = 0.05) -> None:
+                 poll: float = 0.05, spool_dir: Optional[str] = None,
+                 spool_fsync: bool = True, compact_every: int = 256) -> None:
         self.queue = queue if queue is not None else JobQueue()
         self.max_workers = max(1, max_workers)
         self.workdir = (workdir if workdir is not None
                         else tempfile.mkdtemp(prefix="compass-jobs-"))
         os.makedirs(self.workdir, exist_ok=True)
         self.poll = poll
+        #: the WAL job spool; None = in-memory only (pre-spool behaviour)
+        self._spool: Optional[JobSpool] = None
+        if spool_dir is not None:
+            spool = JobSpool(spool_dir, fsync=spool_fsync,
+                             compact_every=compact_every)
+            if spool.segment_indices():
+                raise ValueError(
+                    f"spool dir {spool_dir!r} already holds journal "
+                    f"segments; use JobRunner.recover() to adopt them")
+            self._spool = spool
+            self._journal({"type": "meta", "workdir": self.workdir})
         self._active: Dict[str, _Active] = {}
         #: monotonic time each non-active job becomes launchable
         self._eligible_at: Dict[str, float] = {}
@@ -209,10 +224,52 @@ class JobRunner:
         #: preempted jobs held until resume() is called
         self._held: set = set()
 
+    # -- journaling --------------------------------------------------------
+
+    def _journal(self, record: dict) -> None:
+        """Append one WAL record (no-op without a spool)."""
+        if self._spool is not None:
+            self._spool.append(record)
+
+    def _journal_attempt(self, rec: JobRecord, ar: AttemptRecord) -> None:
+        """One atomic record per finished attempt: the attempt itself,
+        the resulting state, and every counter recovery needs."""
+        name = rec.spec.name
+        entry = {
+            "type": "attempt", "job": name, "record": ar.to_dict(),
+            "state": rec.state,
+            "retries_used": self._retries_used.get(name, 0),
+            "safe_pending": name in self._safe_pending,
+            "resumes": rec.resumes, "preemptions": rec.preemptions,
+            "degraded": rec.degraded,
+        }
+        if rec.terminal:
+            entry["result"] = rec.result
+            entry["error"] = rec.error
+        self._journal(entry)
+        if self._spool is not None and rec.terminal:
+            self._spool.maybe_compact(self._snapshot_records)
+
+    def _snapshot_records(self) -> list:
+        """The compaction snapshot: meta + one full record per job."""
+        records = [{"type": "meta", "workdir": self.workdir}]
+        for rec in self.queue:
+            name = rec.spec.name
+            records.append({
+                "type": "job", "job": name, "record": rec.to_dict(),
+                "retries_used": self._retries_used.get(name, 0),
+                "next_launch": self._next_launch.get(name, 1),
+                "safe_pending": name in self._safe_pending,
+                "held": name in self._held,
+            })
+        return records
+
     # -- public API --------------------------------------------------------
 
     def submit(self, spec: JobSpec) -> JobRecord:
-        return self.queue.submit(spec)
+        rec = self.queue.submit(spec)
+        self._journal({"type": "submit", "spec": spec.to_dict()})
+        return rec
 
     def run(self) -> Dict[str, JobRecord]:
         """Pump until every job is terminal (or preempted-and-held);
@@ -245,6 +302,9 @@ class JobRunner:
         elif not rec.terminal:
             rec.preemptions += 1
             rec.transition(JobState.PREEMPTED)
+            self._journal({"type": "state", "job": name,
+                           "state": JobState.PREEMPTED,
+                           "preemptions": rec.preemptions})
 
     def resume(self, name: str) -> None:
         """Make a preempted job launchable again."""
@@ -253,6 +313,136 @@ class JobRunner:
             return
         self._held.discard(name)
         self._eligible_at[name] = time.monotonic()
+        self._journal({"type": "resume", "job": name})
+
+    # -- crash recovery ----------------------------------------------------
+
+    @classmethod
+    def recover(cls, spool_dir: str, *, workdir: Optional[str] = None,
+                max_workers: int = 2, poll: float = 0.05,
+                spool_fsync: bool = True,
+                compact_every: int = 256) -> "JobRunner":
+        """Reconstruct a runner from its WAL spool after a supervisor
+        crash (SIGKILL included).
+
+        Replays the journal to rebuild the queue — completed results,
+        attempt histories, retry counters, safe-mode/held flags — then:
+
+        * **reaps orphaned RUNNING jobs**: the journaled child pid is
+          SIGKILLed (it may still be simulating), an ``"orphaned"``
+          attempt record is appended, and the job returns to RETRYING
+          *without* consuming retry budget, so its next launch resumes
+          from its checkpoint autosave bit-identically;
+        * sweeps stale ``*.tmp`` files (checkpoint writers that died
+          mid-save) from the work directory;
+        * deletes autosave generations of jobs already terminal;
+        * compacts the spool, so recovery cost stays bounded no matter
+          how many crashes preceded this one.
+
+        ``workdir`` defaults to the one journaled by the crashed runner
+        — it must, or resumed jobs could not find their autosaves.
+        """
+        spool = JobSpool(spool_dir, fsync=spool_fsync,
+                         compact_every=compact_every)
+        records = spool.recover()
+        queue = JobQueue()
+        meta_workdir: Optional[str] = None
+        retries: Dict[str, int] = {}
+        next_launch: Dict[str, int] = {}
+        safe_pending: set = set()
+        held: set = set()
+        pids: Dict[str, Optional[int]] = {}
+        running_safe: Dict[str, bool] = {}
+        for r in records:
+            kind = r.get("type")
+            name = r.get("job")
+            rec = queue.records.get(name) if name else None
+            if kind == "meta":
+                meta_workdir = r.get("workdir", meta_workdir)
+            elif kind == "submit":
+                spec = JobSpec.from_dict(r["spec"])
+                if spec.name not in queue.records:
+                    queue.submit(spec)
+            elif kind == "job":        # compaction snapshot entry
+                queue.records[name] = JobRecord.from_dict(r["record"])
+                retries[name] = int(r.get("retries_used", 0))
+                next_launch[name] = int(r.get("next_launch", 1))
+                (safe_pending.add if r.get("safe_pending")
+                 else safe_pending.discard)(name)
+                (held.add if r.get("held") else held.discard)(name)
+            elif rec is None:
+                continue               # delta for a job we never saw
+            elif kind == "launch":
+                next_launch[name] = int(r["attempt"]) + 1
+                running_safe[name] = bool(r.get("safe_mode"))
+                pids[name] = r.get("pid")
+                rec.transition(JobState.RUNNING)
+            elif kind == "attempt":
+                rec.attempts.append(AttemptRecord.from_dict(r["record"]))
+                retries[name] = int(r.get("retries_used", 0))
+                (safe_pending.add if r.get("safe_pending")
+                 else safe_pending.discard)(name)
+                rec.resumes = int(r.get("resumes", rec.resumes))
+                rec.preemptions = int(r.get("preemptions", rec.preemptions))
+                rec.degraded = bool(r.get("degraded", rec.degraded))
+                if r.get("result") is not None:
+                    rec.result = r["result"]
+                if r.get("error") is not None:
+                    rec.error = r["error"]
+                state = r.get("state")
+                if state:
+                    rec.transition(state)
+                    (held.add if state == JobState.PREEMPTED
+                     else held.discard)(name)
+                pids.pop(name, None)
+            elif kind == "state":
+                rec.transition(r["state"])
+                rec.preemptions = int(r.get("preemptions", rec.preemptions))
+                if r["state"] == JobState.PREEMPTED:
+                    held.add(name)
+            elif kind == "resume":
+                held.discard(name)
+
+        runner = cls(queue, max_workers=max_workers, poll=poll,
+                     workdir=workdir if workdir is not None
+                     else meta_workdir)
+        runner._spool = spool
+        runner._retries_used = retries
+        runner._next_launch = next_launch
+        runner._safe_pending = safe_pending
+        runner._held = held
+
+        sweep_stale_tmp(runner.workdir)
+        for rec in queue:
+            name = rec.spec.name
+            if rec.state != JobState.RUNNING:
+                continue
+            pid = pids.get(name)
+            if pid:
+                try:                    # the orphan may still be running
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, TypeError):
+                    pass
+            ar = AttemptRecord(
+                attempt=next_launch.get(name, 2) - 1,
+                safe_mode=running_safe.get(name, False),
+                outcome="orphaned",
+                detail="supervisor crashed while the attempt was in "
+                       "flight; reaped on recovery, resuming from its "
+                       "checkpoint autosave")
+            rec.attempts.append(ar)
+            rec.transition(JobState.RETRYING)   # no retry budget charged
+            runner._journal_attempt(rec, ar)
+        for rec in queue:
+            if rec.terminal:            # autosaves of finished jobs are
+                base = runner._ckpt_path(rec.spec.name)   # dead weight
+                for gen in generation_paths(base):
+                    try:
+                        os.unlink(gen)
+                    except OSError:
+                        pass
+        spool.compact(runner._snapshot_records())
+        return runner
 
     # -- launching ---------------------------------------------------------
 
@@ -286,6 +476,10 @@ class JobRunner:
             proc, parent_conn, attempt, safe_mode,
             self._pending_backoff.pop(name, 0.0))
         rec.transition(JobState.RUNNING)
+        # journaled after start so the child pid lands in the WAL;
+        # recovery SIGKILLs journaled pids before relaunching orphans
+        self._journal({"type": "launch", "job": name, "attempt": attempt,
+                       "safe_mode": safe_mode, "pid": proc.pid})
 
     # -- polling -----------------------------------------------------------
 
@@ -390,11 +584,13 @@ class JobRunner:
         self._preempt_requested.discard(name)
         self._held.discard(name)
         act.events = payload["events_processed"]
-        rec.attempts.append(self._attempt_record(act, "done", "", 0))
+        ar = self._attempt_record(act, "done", "", 0)
+        rec.attempts.append(ar)
         rec.result = payload
         rec.degraded = act.safe_mode
         self._safe_pending.discard(name)
         rec.transition(JobState.DEGRADED if act.safe_mode else JobState.DONE)
+        self._journal_attempt(rec, ar)
 
     def _attempt_failed(self, name: str, outcome: str, detail: str,
                         exitcode=None, error: Optional[dict] = None) -> None:
@@ -417,9 +613,11 @@ class JobRunner:
         if preempted:
             rec.preemptions += 1
             rec.transition(JobState.PREEMPTED)     # held until resume()
+            self._journal_attempt(rec, ar)
             return
         if act.safe_mode:
             self._fail(rec, ar, error)
+            self._journal_attempt(rec, ar)
             return
         self._retries_used[name] = self._retries_used.get(name, 0) + 1
         used = self._retries_used[name]
@@ -437,6 +635,7 @@ class JobRunner:
             rec.transition(JobState.RETRYING)
         else:
             self._fail(rec, ar, error)
+        self._journal_attempt(rec, ar)
 
     def _fail(self, rec: JobRecord, ar: AttemptRecord,
               error: Optional[dict]) -> None:

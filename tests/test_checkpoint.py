@@ -6,6 +6,7 @@ import pickle
 import pytest
 
 from repro import (CheckpointError, Engine, FaultPlan, FaultRule,
+                   checkpoint_exists,
                    SamplingConfig, SimulatedCrash, complex_backend,
                    load_checkpoint, resume)
 from repro.checkpoint import RecordingMemory
@@ -74,7 +75,7 @@ class TestCrashResumeBitIdentity:
         eng._ckpt.crash_after_saves = 2
         with pytest.raises(SimulatedCrash):
             eng.run()
-        assert os.path.exists(path)
+        assert checkpoint_exists(path)
 
         eng2, stats2 = resume(path, lambda: build(factory))
         assert _full_fingerprint(eng2, stats2) == baseline
@@ -206,11 +207,20 @@ class TestFingerprints:
         SimProcess._next_pid[0] = 1
         eng = FAULT_OFF_WORKLOADS["oltp"](factory)
         eng.run()
-        assert os.path.exists(path)
-        assert not os.path.exists(path + ".tmp")
+        assert checkpoint_exists(path)
+        # autosaves rotate generations; no bare file and no stale temps
+        assert not os.path.exists(path)
+        assert not any(f.endswith(".tmp") for f in os.listdir(path.rsplit(
+            "/", 1)[0]))
         ck = load_checkpoint(path)
-        assert ck["version"] == 1
+        assert ck["version"] == 2
         assert ck["events_processed"] > 0
+        # both generations exist after >= 2 autosaves and load_checkpoint
+        # picks the newer one
+        from repro.checkpoint import generation_paths
+        gens = [g for g in generation_paths(path) if os.path.exists(g)]
+        assert len(gens) == 2
+        assert ck["saves"] == eng._ckpt.saves
 
 
 class TestReplayMemory:

@@ -97,6 +97,58 @@ class TestDeadlockReportRoundTrip:
         assert _roundtrips(ei.value.report)
 
 
+class TestDurabilityForensicRoundTrip:
+    """PR 9 forensic records — spool torn-tail quarantines, checkpoint
+    quarantines, structured corruption errors, crash plans — are all
+    JSON-plain: they are written with ``json.dump`` at quarantine time
+    and parsed by fleet tooling."""
+
+    def test_spool_quarantine_record(self, tmp_path):
+        from repro.service.spool import JobSpool
+        spool = JobSpool(str(tmp_path))
+        for i in range(4):
+            spool.append({"i": i})
+        spool.close()
+        seg = spool.segment_path(spool._seg_index)
+        with open(seg, "r+b") as f:
+            f.truncate(os.path.getsize(seg) - 3)     # torn tail
+        fresh = JobSpool(str(tmp_path))
+        fresh.recover()
+        assert len(fresh.quarantines) == 1
+        assert _roundtrips(fresh.quarantines[0])
+        on_disk = json.load(open(seg + ".quarantine.json"))
+        assert on_disk == fresh.quarantines[0]
+
+    def test_checkpoint_quarantine_record(self, tmp_path):
+        from repro.checkpoint import quarantine_checkpoint
+        from repro.core.errors import CheckpointCorruptError
+        path = str(tmp_path / "ck.pkl.g0")
+        open(path, "wb").write(b"garbage")
+        err = CheckpointCorruptError(path, 0, "bad magic b'garb'")
+        record = quarantine_checkpoint(path, err, fallback="ck.pkl.g1")
+        assert _roundtrips(record)
+        assert json.load(open(path + ".quarantine.json")) == record
+
+    def test_corrupt_error_to_record(self):
+        from repro.core.errors import (CheckpointCorruptError,
+                                       SpoolCorruptError)
+        for cls in (CheckpointCorruptError, SpoolCorruptError):
+            rec = cls("/tmp/x", 42, "crc mismatch").to_record()
+            assert _roundtrips(rec)
+            assert rec["type"] == cls.__name__
+            assert rec["offset"] == 42
+
+    def test_crash_plan_round_trip(self):
+        from repro import CrashPointPlan, CrashRule
+        plan = CrashPointPlan(rules=(
+            CrashRule(site="spool:append", hit=3),
+            CrashRule(site="ckpt:pre-rename", hit_range=(1, 4),
+                      action="raise"),
+        ), seed=11, tag="t")
+        assert _roundtrips(plan.to_dict())
+        assert CrashPointPlan.from_json(plan.to_json()) == plan
+
+
 class TestHostForensicRoundTrip:
     def test_worker_death_report(self):
         """Kill a worker with no restart budget: the forensic report —

@@ -24,6 +24,7 @@ import time
 import pytest
 
 from repro import (Engine, FaultPlan, FaultRule, SimulatedCrash,
+                   checkpoint_exists,
                    complex_backend, resume)
 from repro.core.frontend import SimProcess
 from repro.host import ParallelEngine, WorkerSpec
@@ -207,7 +208,7 @@ def test_checkpoint_resume_with_lookahead_on(tmp_path):
     eng._ckpt.crash_after_saves = 2
     with pytest.raises(SimulatedCrash):
         eng.run()
-    assert os.path.exists(path)
+    assert checkpoint_exists(path)
     eng2, stats2 = resume(path, lambda: build(factory))
     assert _snapshot(eng2, stats2) == baseline
 

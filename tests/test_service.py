@@ -8,7 +8,7 @@ import os
 
 import pytest
 
-from repro import FaultPlan, FaultRule, complex_backend
+from repro import FaultPlan, FaultRule, checkpoint_exists, complex_backend
 from repro.service import (JobRunner, JobSpec, JobState, SimulatorAdapter,
                            run_matrix)
 from repro.service.workloads import WORKLOADS, full_fingerprint
@@ -217,7 +217,7 @@ class TestPreemptResume:
         while rec.state != JobState.PREEMPTED:
             runner.step(timeout=0.02)
         assert rec.preemptions == 1
-        assert os.path.exists(runner._ckpt_path("pre"))
+        assert checkpoint_exists(runner._ckpt_path("pre"))
         # held: the runner is idle until the caller resumes the job
         assert runner.run() == {"pre": rec}
         assert rec.state == JobState.PREEMPTED

@@ -19,7 +19,8 @@ import signal
 
 import pytest
 
-from repro import Engine, SimulatedCrash, complex_backend, resume
+from repro import (Engine, SimulatedCrash, checkpoint_exists,
+                   complex_backend, resume)
 from repro.core.config import ConfigError, SimConfig
 from repro.core.frontend import SimProcess
 from repro.host import ParallelEngine, WorkerSpec
@@ -211,7 +212,7 @@ def test_checkpoint_resume_with_speculation_on(tmp_path):
     eng._ckpt.crash_after_saves = 2
     with pytest.raises(SimulatedCrash):
         eng.run()
-    assert os.path.exists(path)
+    assert checkpoint_exists(path)
     eng2, stats2 = resume(path, lambda: build(factory))
     assert _snapshot(eng2, stats2) == baseline
 
